@@ -1,0 +1,32 @@
+"""Shared helpers for the paper-reproduction benchmarks.
+
+Each benchmark regenerates one table or figure of the paper's evaluation
+(Section 4) and asserts its *shape*: who wins, direction of trends,
+rough factors.  Absolute numbers differ (MiniDB is a Python simulator,
+not the authors' 64-core testbed); EXPERIMENTS.md records both.
+
+Budgets are laptop-scale: every benchmark runs in tens of seconds, not
+the paper's 24 hours.  ``benchmark.pedantic(..., rounds=1)`` is used
+because a campaign is a long-running measured unit, not a microbench.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Run *fn* exactly once under pytest-benchmark accounting."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def oracle_factories():
+    from repro import CoddTestOracle, DQEOracle, NoRECOracle, TLPOracle
+
+    return {
+        "coddtest": lambda: CoddTestOracle(),
+        "norec": lambda: NoRECOracle(),
+        "tlp": lambda: TLPOracle(),
+        "dqe": lambda: DQEOracle(),
+    }

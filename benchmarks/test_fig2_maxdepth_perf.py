@@ -1,0 +1,53 @@
+"""Paper Figure 2: expression complexity (MaxDepth) vs performance.
+
+Paper: raising MaxDepth from 1 to 15 increases per-query execution time
+~9.9x and cuts test throughput by ~89% (CODDTest & Expression, i.e. no
+subqueries, to isolate expression complexity).
+
+Reproduction: equal fixed-time campaigns at MaxDepth 1..15; assert the
+direction and rough magnitude of both trends.
+"""
+
+from conftest import run_once
+
+from repro import CoddTestOracle, MiniDBAdapter, make_engine, run_campaign
+from repro.report import render_maxdepth_series
+
+DEPTHS = (1, 3, 5, 7, 9, 11, 13, 15)
+SECONDS_PER_DEPTH = 3.0
+
+
+def test_fig2_maxdepth_vs_time_and_throughput(benchmark):
+    def sweep():
+        series = {}
+        for depth in DEPTHS:
+            oracle = CoddTestOracle(max_depth=depth, expression_only=True)
+            adapter = MiniDBAdapter(make_engine("sqlite"))
+            stats = run_campaign(
+                oracle, adapter, seconds=SECONDS_PER_DEPTH, seed=17
+            )
+            queries = stats.queries_ok + stats.queries_err
+            series[depth] = {
+                "us_per_query": 1e6 * stats.wall_seconds / max(queries, 1),
+                "tests": stats.tests,
+                "unique_plans": len(stats.unique_plans),
+            }
+        return series
+
+    series = run_once(benchmark, sweep)
+
+    print("\n[Figure 2 reproduction] MaxDepth sweep (CODDTest & Expression):")
+    print(render_maxdepth_series(series))
+    benchmark.extra_info["series"] = series
+
+    shallow, deep = series[1], series[15]
+    # Per-query time rises with depth (paper: ~9.9x at depth 15).
+    assert deep["us_per_query"] > 1.5 * shallow["us_per_query"], series
+    # Throughput falls with depth (paper: -89% at depth 15).
+    assert deep["tests"] < 0.7 * shallow["tests"], series
+
+    # The trend is broadly monotonic: the deepest third is slower than
+    # the shallowest third on average.
+    first = [series[d]["us_per_query"] for d in DEPTHS[:3]]
+    last = [series[d]["us_per_query"] for d in DEPTHS[-3:]]
+    assert sum(last) / 3 > sum(first) / 3

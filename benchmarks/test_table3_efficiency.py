@@ -1,0 +1,102 @@
+"""Paper Table 3: efficiency comparison of the oracles.
+
+Paper findings (SQLite, 24h x 10 threads):
+* throughput: NoREC > TLP > CODDTest > DQE (CODDTest ~4.2x slower than
+  NoREC, ~2.0x slower than TLP, ~1.1x faster than DQE);
+* QPT: NoREC 2.05, TLP 2.23, DQE 17.0, CODDTest 3.33 (>=3: A, O, F);
+* unique query plans: CODDTest orders of magnitude above the others
+  (14.9x NoREC ... 5303x DQE), driven by subqueries;
+* branch coverage: NoREC/TLP/CODDTest nearly equal, DQE lower.
+
+Reproduction: equal fixed-time campaigns per oracle on the fault-free
+SQLite-like engine, plus the CODDTest & Expression / & Subquery variants.
+"""
+
+from conftest import run_once
+
+from repro import (
+    CoddTestOracle,
+    DQEOracle,
+    MiniDBAdapter,
+    NoRECOracle,
+    TLPOracle,
+    make_engine,
+    run_campaign,
+)
+from repro.report import render_efficiency_table
+
+N_TESTS = 700
+
+
+def _campaign(oracle):
+    adapter = MiniDBAdapter(make_engine("sqlite"))
+    stats = run_campaign(oracle, adapter, n_tests=N_TESTS, seed=33)
+    return {
+        "oracle": oracle.name,
+        "tests": stats.tests,
+        "queries_ok": stats.queries_ok,
+        "queries_err": stats.queries_err,
+        "qpt": stats.qpt,
+        "unique_plans": len(stats.unique_plans),
+        "coverage": stats.branch_coverage,
+        "tests_per_second": stats.tests_per_second,
+    }
+
+
+def test_table3_efficiency(benchmark):
+    def measure():
+        oracles = [
+            NoRECOracle(),
+            TLPOracle(),
+            DQEOracle(),
+            CoddTestOracle(),
+            CoddTestOracle(expression_only=True),
+            CoddTestOracle(subquery_only=True),
+        ]
+        return {o.name: _campaign(o) for o in oracles}
+
+    rows = run_once(benchmark, measure)
+
+    print("\n[Table 3 reproduction] oracle efficiency:")
+    print(render_efficiency_table(rows.values()))
+    benchmark.extra_info["rows"] = {
+        k: {kk: vv for kk, vv in v.items() if kk != "oracle"}
+        for k, v in rows.items()
+    }
+
+    norec, tlp, dqe = rows["norec"], rows["tlp"], rows["dqe"]
+    codd = rows["coddtest"]
+    codd_expr = rows["coddtest-expr"]
+    codd_subq = rows["coddtest-subq"]
+
+    # Throughput ordering: NoREC fastest; CODDTest slower than NoREC and
+    # TLP but comparable to DQE (paper: 4.2x / 2.0x slower, 1.13x faster).
+    assert norec["tests_per_second"] > codd["tests_per_second"]
+    assert tlp["tests_per_second"] > codd["tests_per_second"]
+    assert codd["tests_per_second"] > dqe["tests_per_second"] * 0.3
+
+    # QPT: NoREC ~2, TLP a little above 2, CODDTest >= 3 (A, O, F, plus
+    # relation-mode DDL), DQE largest (paper: 2.05 / 2.23 / 3.33 / 17).
+    assert 1.9 <= norec["qpt"] <= 2.1
+    assert codd["qpt"] >= 3.0
+    assert tlp["qpt"] < codd["qpt"]
+    assert dqe["qpt"] > codd["qpt"]
+    assert codd_expr["qpt"] >= 2.9 and codd_subq["qpt"] >= 2.9
+
+    # Unique plans: CODDTest far ahead; DQE last by a huge margin; the
+    # subquery variant beats the expression variant (paper: 2.7M vs 7.4k).
+    assert codd["unique_plans"] > 2.5 * norec["unique_plans"]
+    assert codd["unique_plans"] > 2 * tlp["unique_plans"]
+    assert dqe["unique_plans"] < 0.1 * norec["unique_plans"]
+    assert codd_subq["unique_plans"] > codd_expr["unique_plans"]
+
+    # Branch coverage: DQE is the lowest (it cannot exercise joins,
+    # views, or subqueries -- paper: 46.7% vs ~63%).  NoREC and TLP sit
+    # close together; CODDTest's margin over them is amplified here
+    # because MiniDB's branch universe is small and subquery-heavy
+    # (deviation documented in EXPERIMENTS.md).
+    assert dqe["coverage"] < norec["coverage"]
+    assert dqe["coverage"] < tlp["coverage"]
+    assert dqe["coverage"] < codd["coverage"]
+    assert abs(norec["coverage"] - tlp["coverage"]) < 0.15
+    assert codd["coverage"] >= norec["coverage"] - 0.05

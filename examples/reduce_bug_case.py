@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Automatically reduce a bug-inducing test case (paper Section 4.1:
+"we manually reduced the bug-inducing test cases [39]" -- here the
+delta-debugging citation [39] is implemented and applied automatically).
+
+Hunts for a bug with CODDTest, then shrinks the reproduction with ddmin
+over the statement list while preserving the original/folded-query
+discrepancy.
+
+Run:  python examples/reduce_bug_case.py
+"""
+
+from repro import CoddTestOracle, MiniDBAdapter, make_engine, run_campaign
+from repro.dialects.catalog import FAULTS_BY_ID
+from repro.errors import ReproError, SqlError
+from repro.oracles_base import rows_equal
+from repro.runner import reduce_statements
+
+FAULT = FAULTS_BY_ID["sqlite_view_join_where"]
+
+
+def find_bug_case() -> list[str]:
+    """Hunt until CODDTest reports a bug; return the reproduction:
+    the state-building statements followed by the oracle's own
+    statements (auxiliary / original / folded, in order)."""
+    for seed in range(30):
+        engine = make_engine("sqlite", faults=[FAULT])
+        adapter = MiniDBAdapter(engine)
+        state_log: list[str] = []
+        original_execute = adapter.execute
+        original_reset = adapter.reset
+
+        def recording_execute(sql):
+            state_log.append(sql)
+            return original_execute(sql)
+
+        def recording_reset():
+            state_log.clear()  # a new state starts from an empty database
+            return original_reset()
+
+        adapter.execute = recording_execute  # type: ignore[method-assign]
+        adapter.reset = recording_reset  # type: ignore[method-assign]
+        stats = run_campaign(
+            CoddTestOracle(), adapter, n_tests=400, seed=seed, max_reports=1
+        )
+        if stats.reports:
+            report = stats.reports[0]
+            # Setup = the current state's DDL/DML, excluding statements
+            # the oracle issued itself during the failing test.
+            oracle_tail = report.statements
+            tail_set = set(oracle_tail)
+            setup = [
+                s
+                for s in state_log
+                if s not in tail_set
+                and s.lstrip().upper().startswith(("CREATE", "INSERT"))
+            ]
+            return setup + oracle_tail
+    raise SystemExit("no bug found; try more seeds")
+
+
+def still_fails(statements: list[str]) -> bool:
+    """Replay on a fresh engine; the failure is preserved when the last
+    two SELECT-producing statements (original and folded query) still
+    disagree."""
+    engine = make_engine("sqlite", faults=[FAULT])
+    results = []
+    for sql in statements:
+        try:
+            result = engine.execute(sql)
+        except (SqlError, ReproError):
+            return False
+        if sql.lstrip().upper().startswith(("SELECT", "WITH")):
+            results.append(result.rows)
+    if len(results) < 2:
+        return False
+    return not rows_equal(results[-2], results[-1])
+
+
+def main() -> None:
+    statements = find_bug_case()
+    print(f"unreduced bug case: {len(statements)} statements")
+    if not still_fails(statements):
+        raise SystemExit("reproduction did not replay; rerun")
+
+    reduced = reduce_statements(statements, still_fails)
+    print(f"reduced bug case:   {len(reduced)} statements\n")
+    for sql in reduced:
+        print(f"  {sql}")
+    print(f"\ninjected root cause: {FAULT.description}")
+
+
+if __name__ == "__main__":
+    main()

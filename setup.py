@@ -1,0 +1,14 @@
+"""Legacy setup shim (offline environments without the `wheel` package
+cannot perform PEP 517 editable installs; `pip install -e . --no-build-isolation
+--no-use-pep517` uses this file instead)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    entry_points={"console_scripts": ["coddtest = repro.cli:main"]},
+)

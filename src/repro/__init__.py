@@ -1,0 +1,54 @@
+"""CODDTest reproduction: Constant Optimization Driven Database System
+Testing (Zhang & Rigger, SIGMOD 2025).
+
+Public API tour
+---------------
+
+>>> from repro import CoddTestOracle, MiniDBAdapter, make_engine, run_campaign
+>>> adapter = MiniDBAdapter(make_engine("sqlite", with_catalog_faults=True))
+>>> stats = run_campaign(CoddTestOracle(), adapter, n_tests=200, seed=1)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured results of every table and figure.
+"""
+
+from repro.adapters import MiniDBAdapter, Sqlite3Adapter
+from repro.baselines import DQEOracle, EETOracle, NoRECOracle, TLPOracle
+from repro.core import CoddTestOracle
+from repro.dialects import ALL_FAULTS, LOGIC_FAULTS, get_dialect, make_engine
+from repro.minidb import Engine, EngineProfile
+from repro.oracles_base import Oracle, TestOutcome, TestReport
+from repro.runner import (
+    Campaign,
+    CampaignStats,
+    detection_matrix,
+    detects_fault,
+    run_campaign,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CoddTestOracle",
+    "NoRECOracle",
+    "TLPOracle",
+    "DQEOracle",
+    "EETOracle",
+    "Oracle",
+    "TestOutcome",
+    "TestReport",
+    "Engine",
+    "EngineProfile",
+    "MiniDBAdapter",
+    "Sqlite3Adapter",
+    "make_engine",
+    "get_dialect",
+    "ALL_FAULTS",
+    "LOGIC_FAULTS",
+    "Campaign",
+    "CampaignStats",
+    "run_campaign",
+    "detects_fault",
+    "detection_matrix",
+    "__version__",
+]

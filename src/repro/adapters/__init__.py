@@ -1,0 +1,20 @@
+"""Engine adapters: the black-box SQL interface the oracles test through.
+
+The paper's oracles interact with DBMSs only via SQL (Section 1: "a
+black-box approach ... on the SQL level").  :class:`EngineAdapter`
+captures that contract; implementations exist for MiniDB (the simulated
+DBMS family) and for the real SQLite via the stdlib ``sqlite3`` module.
+"""
+
+from repro.adapters.base import EngineAdapter, SchemaInfo, TableInfo, ColumnInfo
+from repro.adapters.minidb_adapter import MiniDBAdapter
+from repro.adapters.sqlite3_adapter import Sqlite3Adapter
+
+__all__ = [
+    "EngineAdapter",
+    "SchemaInfo",
+    "TableInfo",
+    "ColumnInfo",
+    "MiniDBAdapter",
+    "Sqlite3Adapter",
+]

@@ -1,0 +1,90 @@
+"""Adapter protocol and schema introspection types."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from repro.minidb.values import SqlType, SqlValue
+
+
+@dataclass(frozen=True)
+class ColumnInfo:
+    """One column as seen by the generators."""
+
+    name: str
+    sql_type: SqlType | None = None  # None = dynamically typed
+
+
+@dataclass(frozen=True)
+class TableInfo:
+    """One relation (base table or view) available to generated queries."""
+
+    name: str
+    columns: tuple[ColumnInfo, ...]
+    kind: str = "table"  # "table" | "view"
+
+
+@dataclass
+class SchemaInfo:
+    """Snapshot of the schema, consumed by the random generators."""
+
+    tables: list[TableInfo] = field(default_factory=list)
+    indexes: list[str] = field(default_factory=list)
+
+    @property
+    def base_tables(self) -> list[TableInfo]:
+        return [t for t in self.tables if t.kind == "table"]
+
+    def table(self, name: str) -> TableInfo:
+        for t in self.tables:
+            if t.name.lower() == name.lower():
+                return t
+        raise KeyError(name)
+
+
+@dataclass
+class ExecResult:
+    """Result of executing one statement through an adapter."""
+
+    columns: list[str]
+    rows: list[tuple[SqlValue, ...]]
+    plan_fingerprint: str | None = None
+    rows_affected: int = 0
+
+
+class EngineAdapter(abc.ABC):
+    """Black-box SQL interface to a DBMS under test.
+
+    Implementations raise :class:`repro.errors.SqlError` subclasses for
+    expected errors (counted as "unsuccessful queries", paper Table 3)
+    and :class:`repro.errors.InternalError` / ``EngineCrash`` /
+    ``EngineHang`` for the bug categories of Table 1.
+    """
+
+    name: str = "adapter"
+    #: Dialect knobs the oracles consult (paper Section 3.3).
+    supports_any_all: bool = True
+    strict_typing: bool = False
+
+    @abc.abstractmethod
+    def execute(self, sql: str) -> ExecResult:
+        """Execute one SQL statement."""
+
+    @abc.abstractmethod
+    def schema(self) -> SchemaInfo:
+        """Introspect the current schema."""
+
+    @abc.abstractmethod
+    def reset(self) -> None:
+        """Drop all user objects, returning to an empty database."""
+
+    def fired_fault_ids(self) -> frozenset[str]:
+        """Ground-truth fault attribution for the last statement
+        (simulated engines only; real DBMSs return an empty set)."""
+        return frozenset()
+
+    def clone(self) -> "EngineAdapter":
+        """Copy of the adapter with identical state (used by DQE-style
+        oracles that mutate data).  Optional."""
+        raise NotImplementedError(f"{self.name} does not support cloning")

@@ -1,0 +1,70 @@
+"""Adapter exposing a MiniDB engine through the black-box protocol."""
+
+from __future__ import annotations
+
+from repro.adapters.base import (
+    ColumnInfo,
+    EngineAdapter,
+    ExecResult,
+    SchemaInfo,
+    TableInfo,
+)
+from repro.minidb.engine import Engine
+from repro.minidb.values import TypingMode
+
+
+class MiniDBAdapter(EngineAdapter):
+    """Wraps an :class:`~repro.minidb.engine.Engine` instance."""
+
+    def __init__(self, engine: Engine | None = None) -> None:
+        self.engine = engine or Engine()
+        self.name = f"minidb[{self.engine.profile.name}]"
+        self.supports_any_all = self.engine.profile.supports_any_all
+        self.strict_typing = self.engine.mode is TypingMode.STRICT
+
+    def execute(self, sql: str) -> ExecResult:
+        result = self.engine.execute(sql)
+        return ExecResult(
+            columns=result.columns,
+            rows=result.rows,
+            plan_fingerprint=result.plan_fingerprint,
+            rows_affected=result.rows_affected,
+        )
+
+    def schema(self) -> SchemaInfo:
+        info = SchemaInfo()
+        db = self.engine.database
+        for table in db.tables.values():
+            info.tables.append(
+                TableInfo(
+                    table.name,
+                    tuple(ColumnInfo(c.name, c.declared_type) for c in table.columns),
+                    kind="table",
+                )
+            )
+        for view in db.views.values():
+            columns = view.columns or tuple(
+                item.alias or f"c{i}" for i, item in enumerate(view.query.items)
+            )
+            info.tables.append(
+                TableInfo(
+                    view.name,
+                    tuple(ColumnInfo(c, None) for c in columns),
+                    kind="view",
+                )
+            )
+        info.indexes = [ix.name for ix in db.indexes.values()]
+        return info
+
+    def reset(self) -> None:
+        profile = self.engine.profile
+        faults = self.engine.faults.faults
+        self.engine = Engine(profile=profile, faults=faults)
+
+    def fired_fault_ids(self) -> frozenset[str]:
+        return frozenset(self.engine.faults.fired)
+
+    def clone(self) -> "MiniDBAdapter":
+        copy = Engine(profile=self.engine.profile, faults=self.engine.faults.faults)
+        copy.database = self.engine.database.clone()
+        return MiniDBAdapter(copy)

@@ -1,0 +1,14 @@
+"""Baseline test oracles the paper compares against (Section 4):
+
+* NoREC -- non-optimizing reference engine construction [30],
+* TLP   -- ternary logic partitioning [31],
+* DQE   -- differential query execution [35],
+* EET   -- equivalent expression transformation [17] (lite variant).
+"""
+
+from repro.baselines.norec import NoRECOracle
+from repro.baselines.tlp import TLPOracle
+from repro.baselines.dqe import DQEOracle
+from repro.baselines.eet import EETOracle
+
+__all__ = ["NoRECOracle", "TLPOracle", "DQEOracle", "EETOracle"]

@@ -1,0 +1,115 @@
+"""DQE: Differential Query Execution (Song et al., ICSE 2023; paper
+baseline [35]).
+
+The same predicate must select the same rows in SELECT, UPDATE, and
+DELETE.  Following the original tool, DQE works on a *single table*
+with two bookkeeping columns: a unique row id and a modification marker
+(paper Section 4.3 explains why this makes DQE's queries-per-test high,
+around 17).  Joins and subqueries are out of scope (paper Section 4.3:
+DQE "cannot test certain language features, such as JOIN").
+"""
+
+from __future__ import annotations
+
+from repro.errors import SqlError
+from repro.generator.expr_gen import ExprGenerator, ScopeColumn
+from repro.minidb import ast_nodes as A
+from repro.minidb.values import sql_literal
+from repro.oracles_base import Oracle, OracleSkip, TestReport
+
+WORK_TABLE = "dqe_w"
+
+
+class DQEOracle(Oracle):
+    name = "dqe"
+
+    def __init__(self, max_depth: int = 3) -> None:
+        super().__init__()
+        self.max_depth = max_depth
+        self.expr_gen: ExprGenerator | None = None
+
+    def on_prepare(self) -> None:
+        assert self.adapter is not None and self.schema is not None
+        self.expr_gen = ExprGenerator(
+            self.rng,
+            self.schema,
+            max_depth=self.max_depth,
+            allow_subqueries=False,
+            supports_any_all=False,
+            strict_typing=self.adapter.strict_typing,
+        )
+
+    def check_once(self) -> TestReport | None:
+        assert self.expr_gen is not None and self.schema is not None
+        base_tables = self.schema.base_tables
+        if not base_tables:
+            raise OracleSkip()
+        table = self.rng.choice(base_tables)
+        try:
+            return self._differential(table)
+        finally:
+            self._drop_work_table()
+
+    def _differential(self, table) -> TestReport | None:
+        assert self.expr_gen is not None
+
+        # Build the work table: original columns + id + marker.
+        rows = self.execute(f"SELECT * FROM {table.name}").rows
+        if not rows:
+            raise OracleSkip()
+        col_defs = ", ".join(c.name for c in table.columns)
+        self.execute(
+            f"CREATE TABLE {WORK_TABLE} ({col_defs}, dqe_id INT, dqe_mark INT)"
+        )
+        # Index a random data column so the predicate exercises the same
+        # access paths the original table had.
+        indexed = self.rng.choice(table.columns).name
+        self.execute(f"CREATE INDEX dqe_ix ON {WORK_TABLE} ({indexed})")
+        for i, row in enumerate(rows):
+            values = ", ".join(sql_literal(v) for v in row)
+            self.execute(
+                f"INSERT INTO {WORK_TABLE} VALUES ({values}, {i}, 0)"
+            )
+        all_ids = set(range(len(rows)))
+
+        scope = [
+            ScopeColumn(WORK_TABLE, c.name, c.sql_type) for c in table.columns
+        ]
+        predicate = self.expr_gen.predicate(scope).expr
+        p_sql = predicate.to_sql()
+
+        select_ids = {
+            r[0]
+            for r in self.execute(
+                f"SELECT dqe_id FROM {WORK_TABLE} WHERE {p_sql}",
+                is_main_query=True,
+            ).rows
+        }
+
+        self.execute(f"UPDATE {WORK_TABLE} SET dqe_mark = 1 WHERE {p_sql}")
+        update_ids = {
+            r[0]
+            for r in self.execute(
+                f"SELECT dqe_id FROM {WORK_TABLE} WHERE dqe_mark = 1"
+            ).rows
+        }
+
+        self.execute(f"DELETE FROM {WORK_TABLE} WHERE {p_sql}")
+        remaining = {
+            r[0] for r in self.execute(f"SELECT dqe_id FROM {WORK_TABLE}").rows
+        }
+        delete_ids = all_ids - remaining
+
+        if select_ids == update_ids == delete_ids:
+            return None
+        return self.report(
+            f"predicate selected {sorted(select_ids)} rows in SELECT, "
+            f"{sorted(update_ids)} in UPDATE, {sorted(delete_ids)} in DELETE"
+        )
+
+    def _drop_work_table(self) -> None:
+        assert self.adapter is not None
+        try:
+            self.adapter.execute(f"DROP TABLE IF EXISTS {WORK_TABLE}")
+        except SqlError:  # pragma: no cover - defensive
+            pass

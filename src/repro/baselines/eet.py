@@ -1,0 +1,86 @@
+"""EET (lite): Equivalent Expression Transformation (Jiang & Su, OSDI
+2024; paper baseline [17]).
+
+EET rewrites a query's predicate into a semantically equivalent but
+syntactically different form by introducing tautologies and
+contradictions; the rewritten query must return the same rows.  This is
+a lite reimplementation covering the transformation families the paper
+describes (Section 6: "EET introduces tautologies and contradictions
+while ensuring that the result remains equivalent").
+
+All transformations preserve *retrieval* equivalence under three-valued
+logic (rows are retrieved only when the predicate is TRUE).
+"""
+
+from __future__ import annotations
+
+from repro.generator.expr_gen import ExprGenerator
+from repro.generator.query_gen import QueryGenerator
+from repro.minidb import ast_nodes as A
+from repro.oracles_base import Oracle, TestReport, rows_equal
+
+
+class EETOracle(Oracle):
+    name = "eet"
+
+    def __init__(self, max_depth: int = 3) -> None:
+        super().__init__()
+        self.max_depth = max_depth
+        self.expr_gen: ExprGenerator | None = None
+        self.query_gen: QueryGenerator | None = None
+
+    def on_prepare(self) -> None:
+        assert self.adapter is not None and self.schema is not None
+        self.expr_gen = ExprGenerator(
+            self.rng,
+            self.schema,
+            max_depth=self.max_depth,
+            allow_subqueries=False,
+            supports_any_all=False,
+            strict_typing=self.adapter.strict_typing,
+        )
+        self.query_gen = QueryGenerator(
+            self.rng,
+            self.schema,
+            self.expr_gen,
+            join_kinds=("INNER", "LEFT", "CROSS"),
+            use_views=True,
+        )
+
+    def check_once(self) -> TestReport | None:
+        assert self.expr_gen is not None and self.query_gen is not None
+        skeleton = self.query_gen.from_skeleton()
+        predicate = self.expr_gen.predicate(skeleton.scope).expr
+        transformed = self._transform(predicate)
+
+        base = self.query_gen.star_query(skeleton, predicate)
+        rewritten = self.query_gen.star_query(skeleton, transformed)
+        base_rows = self.execute(base.to_sql(), is_main_query=True).rows
+        new_rows = self.execute(rewritten.to_sql()).rows
+        if rows_equal(base_rows, new_rows):
+            return None
+        return self.report(
+            f"equivalent transformation changed the result: "
+            f"{len(base_rows)} vs {len(new_rows)} rows"
+        )
+
+    def _transform(self, p: A.Expr) -> A.Expr:
+        kind = self.rng.choice(
+            ["double_not", "and_tautology", "or_contradiction", "case_wrap"]
+        )
+        if kind == "double_not":
+            # NOT(NOT p) == p under 3VL.
+            return A.Unary("NOT", A.Unary("NOT", p))
+        if kind == "and_tautology":
+            # p AND (k = k) with a constant k is retrieval-equivalent.
+            k = A.Literal(self.rng.randint(0, 9))
+            return A.Binary("AND", p, A.Binary("=", k, k))
+        if kind == "or_contradiction":
+            # p OR (k != k) never adds rows: (k != k) is FALSE.
+            k = A.Literal(self.rng.randint(0, 9))
+            return A.Binary("OR", p, A.Binary("!=", k, k))
+        # CASE WHEN p THEN TRUE ELSE FALSE END retrieves exactly p's rows
+        # (UNKNOWN maps to FALSE, which does not retrieve either way).
+        return A.Case(
+            None, (A.CaseWhen(p, A.Literal(True)),), A.Literal(False)
+        )

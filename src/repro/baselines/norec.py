@@ -1,0 +1,69 @@
+"""NoREC: Non-optimizing Reference Engine Construction (Rigger & Su,
+ESEC/FSE 2020; paper baseline [30]).
+
+The same predicate p is evaluated twice: once in the WHERE clause, where
+the DBMS optimizes it (``SELECT COUNT(*) FROM ... WHERE p``), and once
+in the fetch clause, where it is evaluated row-by-row without
+optimization (``SELECT (p) FROM ...``).  The count of retrieved rows
+must equal the number of rows for which p evaluates to TRUE.
+
+As in the paper (Section 1), NoREC does not generate subqueries -- that
+limitation is what CODDTest's comparison (Table 2) exploits.
+"""
+
+from __future__ import annotations
+
+from repro.generator.expr_gen import ExprGenerator
+from repro.generator.query_gen import QueryGenerator
+from repro.minidb.values import TypingMode, truth
+from repro.oracles_base import Oracle, TestReport
+
+
+class NoRECOracle(Oracle):
+    name = "norec"
+
+    def __init__(self, max_depth: int = 3) -> None:
+        super().__init__()
+        self.max_depth = max_depth
+        self.expr_gen: ExprGenerator | None = None
+        self.query_gen: QueryGenerator | None = None
+
+    def on_prepare(self) -> None:
+        assert self.adapter is not None and self.schema is not None
+        self.expr_gen = ExprGenerator(
+            self.rng,
+            self.schema,
+            max_depth=self.max_depth,
+            allow_subqueries=False,  # out of scope for NoREC (paper Section 1)
+            supports_any_all=False,
+            strict_typing=self.adapter.strict_typing,
+        )
+        self.query_gen = QueryGenerator(
+            self.rng,
+            self.schema,
+            self.expr_gen,
+            join_kinds=("INNER", "LEFT", "CROSS"),
+            use_views=True,
+        )
+
+    def check_once(self) -> TestReport | None:
+        assert self.expr_gen is not None and self.query_gen is not None
+        skeleton = self.query_gen.from_skeleton()
+        predicate = self.expr_gen.predicate(skeleton.scope).expr
+
+        optimized = self.query_gen.count_query(skeleton, predicate)
+        opt_rows = self.execute(optimized.to_sql(), is_main_query=True).rows
+        optimized_count = opt_rows[0][0] if opt_rows else 0
+
+        unoptimized = self.query_gen.fetch_predicate_query(skeleton, predicate)
+        raw = self.execute(unoptimized.to_sql()).rows
+        reference_count = sum(
+            1 for (value,) in raw if truth(value, TypingMode.RELAXED) is True
+        )
+
+        if optimized_count == reference_count:
+            return None
+        return self.report(
+            f"optimized WHERE retrieved {optimized_count} rows but the "
+            f"non-optimizing reference counted {reference_count}"
+        )

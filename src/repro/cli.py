@@ -1,0 +1,121 @@
+"""``coddtest`` command-line interface.
+
+Subcommands::
+
+    coddtest hunt     --dialect sqlite --tests 1000 [--buggy] [--oracle coddtest]
+    coddtest compare  --tests 400            # per-oracle detection counts
+    coddtest sqlite3  --tests 200            # run against the real SQLite
+
+Examples live in ``examples/``; this CLI wraps the same public API for
+quick interactive use.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.adapters import MiniDBAdapter, Sqlite3Adapter
+from repro.baselines import DQEOracle, EETOracle, NoRECOracle, TLPOracle
+from repro.core import CoddTestOracle
+from repro.dialects import PROFILES, make_engine
+from repro.runner import run_campaign
+
+ORACLES = {
+    "coddtest": CoddTestOracle,
+    "norec": NoRECOracle,
+    "tlp": TLPOracle,
+    "dqe": DQEOracle,
+    "eet": EETOracle,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="coddtest",
+        description="CODDTest: constant-optimization-driven DBMS testing "
+        "(SIGMOD 2025 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    hunt = sub.add_parser("hunt", help="run a bug-hunting campaign on MiniDB")
+    hunt.add_argument("--dialect", choices=sorted(PROFILES), default="sqlite")
+    hunt.add_argument("--oracle", choices=sorted(ORACLES), default="coddtest")
+    hunt.add_argument("--tests", type=int, default=1000)
+    hunt.add_argument("--seed", type=int, default=0)
+    hunt.add_argument(
+        "--buggy",
+        action="store_true",
+        help="enable the profile's injected fault catalog",
+    )
+
+    compare = sub.add_parser("compare", help="compare oracle throughput")
+    compare.add_argument("--tests", type=int, default=400)
+    compare.add_argument("--dialect", choices=sorted(PROFILES), default="sqlite")
+    compare.add_argument("--seed", type=int, default=0)
+
+    real = sub.add_parser("sqlite3", help="test the real stdlib SQLite")
+    real.add_argument("--tests", type=int, default=200)
+    real.add_argument("--seed", type=int, default=0)
+
+    args = parser.parse_args(argv)
+
+    if args.command == "hunt":
+        return _hunt(args)
+    if args.command == "compare":
+        return _compare(args)
+    return _sqlite3(args)
+
+
+def _hunt(args) -> int:
+    adapter = MiniDBAdapter(
+        make_engine(args.dialect, with_catalog_faults=args.buggy)
+    )
+    oracle = ORACLES[args.oracle]()
+    stats = run_campaign(oracle, adapter, n_tests=args.tests, seed=args.seed)
+    print(
+        f"{oracle.name} on {args.dialect}: {stats.tests} tests, "
+        f"{stats.queries_ok} queries, QPT {stats.qpt:.2f}, "
+        f"{len(stats.unique_plans)} unique plans, "
+        f"coverage {100 * stats.branch_coverage:.1f}%"
+    )
+    print(f"bug reports: {len(stats.reports)} ({stats.bug_reports_by_kind})")
+    if stats.detected_fault_ids:
+        print("distinct injected bugs found:")
+        for fid in sorted(stats.detected_fault_ids):
+            print(f"  - {fid}")
+    if stats.reports:
+        report = stats.reports[0]
+        print("\nfirst bug-inducing test case:")
+        for sql in report.statements:
+            print(f"  {sql}")
+    return 0
+
+
+def _compare(args) -> int:
+    for name, cls in ORACLES.items():
+        adapter = MiniDBAdapter(make_engine(args.dialect))
+        stats = run_campaign(cls(), adapter, n_tests=args.tests, seed=args.seed)
+        print(
+            f"{name:10s} tests/s {stats.tests_per_second:8.1f}  "
+            f"QPT {stats.qpt:5.2f}  plans {len(stats.unique_plans):5d}  "
+            f"coverage {100 * stats.branch_coverage:5.1f}%"
+        )
+    return 0
+
+
+def _sqlite3(args) -> int:
+    adapter = Sqlite3Adapter()
+    oracle = CoddTestOracle(relation_mode_prob=0.0)
+    stats = run_campaign(oracle, adapter, n_tests=args.tests, seed=args.seed)
+    print(
+        f"coddtest on real sqlite3: {stats.tests} tests, "
+        f"{stats.queries_ok} queries, {len(stats.reports)} reports"
+    )
+    for report in stats.reports[:5]:
+        print(f"- [{report.kind}] {report.description}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

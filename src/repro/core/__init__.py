@@ -1,0 +1,26 @@
+"""CODDTest: the paper's primary contribution.
+
+Constant-Optimization-Driven Database Testing derives, for a random
+*original query* O containing an expression phi, a *folded query* F in
+which phi has been replaced by its constant-folded result (obtained via
+an *auxiliary query* A).  ``E_s(O) != E_s(F)`` signals a bug
+(paper Section 3, Algorithm 1).
+"""
+
+from repro.core.coddtest import CoddTestOracle
+from repro.core.folding import (
+    FoldResult,
+    build_case_mapping,
+    fold_expression,
+    fold_value_list,
+)
+from repro.core.relations import RelationFolder
+
+__all__ = [
+    "CoddTestOracle",
+    "FoldResult",
+    "fold_expression",
+    "fold_value_list",
+    "build_case_mapping",
+    "RelationFolder",
+]

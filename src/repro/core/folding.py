@@ -1,0 +1,309 @@
+"""Constant folding and propagation of expressions (paper Sections 3.1-3.2).
+
+Given the generated expression phi and the FROM skeleton of the original
+query, this module builds the *auxiliary query* A[phi], interprets its
+result R_phi, and produces the replacement expression for constant
+propagation:
+
+* independent phi  -> a literal constant (``SELECT phi``), a value list
+  (non-correlated subquery under IN), or a FROM-less UNION chain (under
+  ANY/ALL, paper Section 3.3's MySQL workaround);
+* dependent phi    -> a searched CASE expression mapping each row of the
+  referenced columns {c_i} to phi's value (paper Section 3.2, the
+  "polymorphic inline cache" pattern), with NULL keys rendered as
+  ``c IS NULL`` (paper Listing 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.generator.expr_gen import GenExpr, ScopeColumn
+from repro.generator.query_gen import FromSkeleton
+from repro.minidb import ast_nodes as A
+from repro.minidb.values import SqlValue
+
+#: Safety caps: beyond these the test is discarded rather than building
+#: unwieldy folded queries (mirrors the paper discarding empty-join tests).
+MAX_MAP_ENTRIES = 64
+MAX_LIST_ITEMS = 32
+
+
+def is_correlated_select(select: A.Select) -> bool:
+    """Syntactic correlation check: a subquery is correlated when it
+    references a qualified column whose binding is not declared anywhere
+    within the subquery itself (paper Section 2, Subqueries).
+
+    Generated subqueries always qualify their references, so this purely
+    syntactic check is exact for oracle-produced queries and conservative
+    for hand-written ones.
+    """
+    bindings: set[str] = set()
+
+    def collect(ref: A.TableRef | None) -> None:
+        if ref is None:
+            return
+        if isinstance(ref, A.NamedTable):
+            bindings.add(ref.binding.lower())
+        elif isinstance(ref, (A.DerivedTable, A.ValuesTable)):
+            bindings.add(ref.alias.lower())
+        elif isinstance(ref, A.Join):
+            collect(ref.left)
+            collect(ref.right)
+
+    def collect_select(sel: A.Select) -> None:
+        collect(sel.from_clause)
+        for cte in sel.ctes:
+            bindings.add(cte.name.lower())
+        for node in _select_exprs(sel):
+            for sub in A.walk(node):
+                if isinstance(
+                    sub, (A.Exists, A.ScalarSubquery, A.InSubquery, A.Quantified)
+                ):
+                    collect_select(sub.query)
+        if sel.set_op is not None:
+            collect_select(sel.set_op[2])
+
+    collect_select(select)
+    for expr in _all_exprs(select):
+        for ref in A.column_refs(expr):
+            if ref.table is not None and ref.table.lower() not in bindings:
+                return True
+    return False
+
+
+def _select_exprs(sel: A.Select) -> list[A.Expr]:
+    out: list[A.Expr] = [i.expr for i in sel.items if i.expr is not None]
+    if sel.where is not None:
+        out.append(sel.where)
+    out.extend(sel.group_by)
+    if sel.having is not None:
+        out.append(sel.having)
+    out.extend(o.expr for o in sel.order_by)
+    return out
+
+
+def _all_exprs(sel: A.Select) -> list[A.Expr]:
+    out = _select_exprs(sel)
+    if sel.set_op is not None:
+        out.extend(_all_exprs(sel.set_op[2]))
+    return out
+
+
+@dataclass
+class FoldResult:
+    """Everything needed to derive the folded query F from O."""
+
+    #: SQL text of the auxiliary query (for bug reports).
+    aux_sql: str
+    #: The node inside O to replace ...
+    target: A.Expr
+    #: ... and its constant-propagated replacement.
+    replacement: A.Expr
+
+
+class FoldSkip(Exception):
+    """The fold cannot be represented (empty join input, oversized map)."""
+
+
+# ---------------------------------------------------------------------------
+# Auxiliary query construction
+# ---------------------------------------------------------------------------
+
+
+def aux_for_independent(phi: A.Expr) -> A.Select:
+    """``SELECT phi`` (Algorithm 1 line 4).  For a bare non-correlated
+    subquery the SELECT wrapper is dropped (Section 3.1)."""
+    if isinstance(phi, A.ScalarSubquery):
+        return phi.query
+    return A.Select(items=(A.SelectItem(phi, alias="phi"),))
+
+
+def aux_for_dependent(
+    phi: A.Expr,
+    refs: list[ScopeColumn],
+    skeleton: FromSkeleton,
+    phi_in_join_on: bool,
+) -> A.Select:
+    """``SELECT {c_i}, phi FROM {t_i}`` (Algorithm 1 line 8).
+
+    The auxiliary query replicates the original query's JOIN clauses --
+    except when phi is itself a JOIN ON predicate, where it must see the
+    raw row pairs before the join applies (paper Section 3.2, Listing 4
+    discussion), so the relations are cross-joined without ON.
+    """
+    items = [A.SelectItem(c.ref, alias=f"k{i}") for i, c in enumerate(refs)]
+    items.append(A.SelectItem(phi, alias="phi"))
+    from_ref = skeleton.join_free_ref() if phi_in_join_on else skeleton.ref
+    return A.Select(items=tuple(items), from_clause=from_ref)
+
+
+# ---------------------------------------------------------------------------
+# Constant propagation
+# ---------------------------------------------------------------------------
+
+
+def fold_scalar(rows: list[tuple[SqlValue, ...]], multi_row: str) -> A.Expr:
+    """Interpret an independent expression's auxiliary result as a single
+    constant.  An empty result is NULL (Section 3, "the empty result can
+    be considered as NULL")."""
+    if not rows:
+        return A.Literal(None)
+    if len(rows[0]) != 1:
+        raise FoldSkip("independent expression must fold to one column")
+    if len(rows) > 1:
+        if multi_row == "first":
+            return A.Literal(rows[0][0])
+        raise FoldSkip("scalar fold got more than one row")
+    return A.Literal(rows[0][0])
+
+
+def fold_value_list(rows: list[tuple[SqlValue, ...]]) -> list[A.Expr]:
+    """Interpret a subquery result as a constant list (for IN)."""
+    if rows and len(rows[0]) != 1:
+        raise FoldSkip("value list fold needs a single column")
+    if len(rows) > MAX_LIST_ITEMS:
+        raise FoldSkip("value list too large")
+    return [A.Literal(r[0]) for r in rows]
+
+
+def fold_union_chain(rows: list[tuple[SqlValue, ...]]) -> A.Select:
+    """A FROM-less ``SELECT v1 UNION ALL SELECT v2 ...`` chain -- the
+    representation of a constant list accepted as an ANY/ALL operand
+    (paper Section 3.3)."""
+    values = fold_value_list(rows)
+    if not values:
+        raise FoldSkip("cannot build an empty UNION chain")
+    head: A.Select | None = None
+    for lit in reversed(values):
+        core = A.Select(items=(A.SelectItem(lit, alias="v"),))
+        if head is not None:
+            core = A.Select(
+                items=core.items,
+                set_op=("UNION", True, head),
+            )
+        head = core
+    assert head is not None
+    return head
+
+
+def build_case_mapping(
+    refs: list[ScopeColumn],
+    rows: list[tuple[SqlValue, ...]],
+) -> A.Expr:
+    """Build the CASE expression representing a dependent expression's
+    row->value mapping (paper Section 3.2, Figure 1 step 5).
+
+    Each auxiliary row ``(k_1 ... k_n, v)`` becomes one arm::
+
+        WHEN (c_1 = k_1 AND ... AND c_n = k_n) THEN v
+
+    NULL keys render as ``c IS NULL`` (paper Listing 4).  Duplicate keys
+    are collapsed (a dependent expression is a function of its
+    arguments, so duplicates agree for deterministic expressions).
+    """
+    whens: list[A.CaseWhen] = []
+    seen: set[tuple] = set()
+    for row in rows:
+        if len(row) != len(refs) + 1:
+            raise FoldSkip("auxiliary row width mismatch")
+        keys, value = row[:-1], row[-1]
+        dedup_key = tuple(
+            (type(k).__name__, k) for k in keys
+        )
+        if dedup_key in seen:
+            continue
+        seen.add(dedup_key)
+        conds: list[A.Expr] = []
+        for col, key in zip(refs, keys):
+            if key is None:
+                conds.append(A.IsNull(col.ref))
+            else:
+                conds.append(A.Binary("=", col.ref, A.Literal(key)))
+        whens.append(A.CaseWhen(A.conjoin(conds), A.Literal(value)))
+        if len(whens) > MAX_MAP_ENTRIES:
+            raise FoldSkip("CASE mapping too large")
+    if not whens:
+        raise FoldSkip("empty mapping (empty join input); discard test")
+    return A.Case(None, tuple(whens), None)
+
+
+# ---------------------------------------------------------------------------
+# Top-level fold dispatch
+# ---------------------------------------------------------------------------
+
+
+def fold_expression(
+    gen: GenExpr,
+    skeleton: FromSkeleton,
+    phi_in_join_on: bool,
+    execute,
+    *,
+    scalar_multi_row: str = "error",
+    is_correlated=None,
+) -> FoldResult:
+    """Fold phi, executing auxiliary queries through *execute*.
+
+    *execute* is a callable ``sql -> rows`` provided by the oracle (so
+    query accounting stays in one place).  ``is_correlated`` decides
+    whether a subquery node can be folded independently of the outer row
+    (non-correlated, paper Section 3.1) or must go through the dependent
+    path (correlated, Section 3.2).
+    """
+    phi = gen.expr
+
+    def correlated(query: A.Select) -> bool:
+        if is_correlated is not None:
+            return bool(is_correlated(query))
+        return bool(gen.outer_refs)
+
+    # Special shapes: subquery operands folded structurally.
+    if isinstance(phi, A.InSubquery) and not correlated(phi.query):
+        aux = phi.query
+        rows = execute(aux.to_sql())
+        values = fold_value_list(rows)
+        if values:
+            replacement: A.Expr = A.InList(phi.operand, tuple(values), phi.negated)
+        else:
+            # x IN (empty set) is FALSE; NOT IN is TRUE.
+            replacement = A.Literal(bool(phi.negated))
+        return FoldResult(aux.to_sql(), phi, replacement)
+
+    if isinstance(phi, A.Quantified) and not correlated(phi.query):
+        aux = phi.query
+        rows = execute(aux.to_sql())
+        if not rows:
+            # op ANY over the empty set is FALSE; op ALL is TRUE.
+            lit = A.Literal(phi.quantifier.upper() == "ALL")
+            return FoldResult(aux.to_sql(), phi, lit)
+        chain = fold_union_chain(rows)
+        replacement = A.Quantified(phi.operand, phi.op, phi.quantifier, chain)
+        return FoldResult(aux.to_sql(), phi, replacement)
+
+    if isinstance(phi, A.Exists) and not correlated(phi.query):
+        aux = phi.query
+        rows = execute(aux.to_sql())
+        result = len(rows) > 0
+        if phi.negated:
+            result = not result
+        return FoldResult(aux.to_sql(), phi, A.Literal(result))
+
+    if isinstance(phi, A.ScalarSubquery) and not correlated(phi.query):
+        aux = aux_for_independent(phi)
+        rows = execute(aux.to_sql())
+        return FoldResult(
+            aux.to_sql(), phi, fold_scalar(rows, scalar_multi_row)
+        )
+
+    if gen.independent:
+        aux = aux_for_independent(phi)
+        rows = execute(aux.to_sql())
+        return FoldResult(
+            aux.to_sql(), phi, fold_scalar(rows, scalar_multi_row)
+        )
+
+    # Dependent expression: per-row CASE mapping.
+    aux = aux_for_dependent(phi, gen.outer_refs, skeleton, phi_in_join_on)
+    rows = execute(aux.to_sql())
+    mapping = build_case_mapping(gen.outer_refs, rows)
+    return FoldResult(aux.to_sql(), phi, mapping)

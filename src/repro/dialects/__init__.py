@@ -1,0 +1,25 @@
+"""Dialect profiles simulating the paper's five DBMSs under test.
+
+Each profile pairs an :class:`~repro.minidb.engine.EngineProfile`
+(typing strictness, feature support -- paper Section 3.3) with the
+catalog of injected faults modelled on the bugs reported in Table 1.
+"""
+
+from repro.dialects.base import DialectSpec, PROFILES, get_dialect, make_engine
+from repro.dialects.catalog import (
+    ALL_FAULTS,
+    FAULTS_BY_ID,
+    FAULTS_BY_PROFILE,
+    LOGIC_FAULTS,
+)
+
+__all__ = [
+    "DialectSpec",
+    "PROFILES",
+    "get_dialect",
+    "make_engine",
+    "ALL_FAULTS",
+    "FAULTS_BY_ID",
+    "FAULTS_BY_PROFILE",
+    "LOGIC_FAULTS",
+]

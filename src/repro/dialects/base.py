@@ -1,0 +1,123 @@
+"""Dialect specifications for the five simulated DBMSs.
+
+The paper tests SQLite, MySQL, CockroachDB, DuckDB, and TiDB (Section 4,
+"Tested DBMSs").  Each :class:`DialectSpec` configures a MiniDB engine to
+behave like that family:
+
+* **typing** -- SQLite/MySQL/TiDB coerce freely, DuckDB/CockroachDB are
+  strict (paper Section 3.3, "Implementation details");
+* **ANY/ALL** -- unsupported in SQLite and DuckDB; MySQL/TiDB accept them
+  only with subqueries, which the oracles satisfy via ``UNION`` chains
+  (paper Section 3.3);
+* **scalar subquery cardinality** -- MySQL-family errors when a scalar
+  subquery returns more than one row (paper Listing 5), SQLite takes the
+  first row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.minidb.engine import Engine, EngineProfile
+from repro.minidb.faults import Fault
+from repro.minidb.values import TypingMode
+
+
+@dataclass(frozen=True)
+class DialectSpec:
+    """One simulated DBMS: an engine profile plus its seeded faults."""
+
+    name: str
+    engine_profile: EngineProfile
+    #: GitHub-style star count, only used by reporting (paper Section 4).
+    description: str = ""
+
+
+PROFILES: dict[str, DialectSpec] = {
+    "sqlite": DialectSpec(
+        name="sqlite",
+        engine_profile=EngineProfile(
+            name="sqlite",
+            typing_mode=TypingMode.RELAXED,
+            supports_any_all=False,
+            scalar_subquery_multi_row="first",
+            display_name="SQLite-like",
+        ),
+        description="embedded, relaxed typing, no ANY/ALL",
+    ),
+    "mysql": DialectSpec(
+        name="mysql",
+        engine_profile=EngineProfile(
+            name="mysql",
+            typing_mode=TypingMode.RELAXED,
+            supports_any_all=True,
+            scalar_subquery_multi_row="error",
+            display_name="MySQL-like",
+        ),
+        description="client-server, relaxed typing",
+    ),
+    "cockroachdb": DialectSpec(
+        name="cockroachdb",
+        engine_profile=EngineProfile(
+            name="cockroachdb",
+            typing_mode=TypingMode.STRICT,
+            supports_any_all=True,
+            scalar_subquery_multi_row="error",
+            display_name="CockroachDB-like",
+        ),
+        description="distributed, strict typing",
+    ),
+    "duckdb": DialectSpec(
+        name="duckdb",
+        engine_profile=EngineProfile(
+            name="duckdb",
+            typing_mode=TypingMode.STRICT,
+            supports_any_all=False,
+            scalar_subquery_multi_row="error",
+            display_name="DuckDB-like",
+        ),
+        description="embedded analytics, strict typing, no ANY/ALL",
+    ),
+    "tidb": DialectSpec(
+        name="tidb",
+        engine_profile=EngineProfile(
+            name="tidb",
+            typing_mode=TypingMode.RELAXED,
+            supports_any_all=True,
+            scalar_subquery_multi_row="error",
+            display_name="TiDB-like",
+        ),
+        description="distributed HTAP, relaxed typing",
+    ),
+}
+
+
+def get_dialect(name: str) -> DialectSpec:
+    """Look up a dialect by name, raising ``KeyError`` with the valid
+    options listed."""
+    try:
+        return PROFILES[name]
+    except KeyError:
+        valid = ", ".join(sorted(PROFILES))
+        raise KeyError(f"unknown dialect {name!r}; expected one of: {valid}") from None
+
+
+def make_engine(
+    name: str = "sqlite",
+    faults: list[Fault] | None = None,
+    with_catalog_faults: bool = False,
+) -> Engine:
+    """Create an engine for dialect *name*.
+
+    ``with_catalog_faults=True`` seeds the full fault catalog for that
+    profile (the "buggy development version" setting of the paper's
+    effectiveness evaluation); otherwise only explicitly passed faults
+    are active (an idealized bug-free engine).
+    """
+    spec = get_dialect(name)
+    active = list(faults or [])
+    if with_catalog_faults:
+        from repro.dialects.catalog import FAULTS_BY_PROFILE
+
+        active.extend(FAULTS_BY_PROFILE.get(name, []))
+    return Engine(profile=spec.engine_profile, faults=active)

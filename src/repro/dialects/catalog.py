@@ -1,0 +1,686 @@
+"""The 45-bug fault catalog (paper Table 1).
+
+Every fault is modelled on a bug class the paper reports, with a
+*context-sensitive* trigger so that each test oracle's ability to detect
+it is an emergent property of the queries that oracle generates:
+
+* ``where_result`` faults fire during row retrieval of a SELECT -- the
+  unoptimized (fetch-clause) form NoREC compares against is unaffected,
+  TLP's partition queries are corrupted, and DQE's UPDATE/DELETE
+  counterparts use different sites;
+* expression-site faults (IN, CASE, BETWEEN, ...) fire wherever the
+  expression is evaluated, so oracles that merely move the predicate
+  between clauses (NoREC/DQE) only detect them when the trigger is
+  conditioned on clause or statement -- mirroring paper Listings 9/10;
+* subquery-, JOIN ON-, CTE-, and INSERT-related faults live in features
+  only CODDTest exercises (paper Section 4.2: 11 bugs "only by
+  CODDTest").
+
+The key asymmetry CODDTest exploits: constant folding *changes the
+feature vector* of the query (a subquery becomes a constant, a value
+list, or a CASE mapping; a constant-false WHERE eliminates the scan), so
+a trigger keyed on those features fires for exactly one of the original
+and folded queries.
+
+Totals match Table 1: 24 logic + 14 internal error + 2 crash + 5 hang =
+45, distributed as SQLite 7, MySQL 2, CockroachDB 13, DuckDB 12, TiDB 11.
+"""
+
+from __future__ import annotations
+
+from repro.minidb.faults import (
+    BugStatus,
+    BugType,
+    Fault,
+    Features,
+    all_of,
+    any_of,
+    feature_is,
+    feature_true,
+)
+
+FIXED = BugStatus.FIXED
+VERIFIED = BugStatus.VERIFIED
+LOGIC = BugType.LOGIC
+INTERNAL = BugType.INTERNAL_ERROR
+CRASH = BugType.CRASH
+HANG = BugType.HANG
+
+
+def _no_subquery(features: Features) -> bool:
+    return not features.get("has_subquery")
+
+
+def _has_join(features: Features) -> bool:
+    return bool(features.get("join_kinds"))
+
+
+def _f(
+    fault_id: str,
+    profile: str,
+    bug_type: BugType,
+    status: BugStatus,
+    sites: set[str],
+    trigger,
+    effect: str,
+    description: str,
+    paper_ref: str = "",
+    introduced_year: int = 2023,
+) -> Fault:
+    return Fault(
+        fault_id=fault_id,
+        profile=profile,
+        bug_type=bug_type,
+        status=status,
+        description=description,
+        sites=frozenset(sites),
+        trigger=trigger,
+        effect=effect,
+        paper_ref=paper_ref,
+        introduced_year=introduced_year,
+    )
+
+
+# ===========================================================================
+# Logic faults (24) -- what CODDTest is designed to find
+# ===========================================================================
+
+LOGIC_FAULTS: list[Fault] = [
+    # -- SQLite-like (6 logic) ------------------------------------------------
+    _f(
+        "sqlite_agg_subquery_indexed",
+        "sqlite",
+        LOGIC,
+        FIXED,
+        {"where_result"},
+        all_of(
+            feature_true("has_agg_subquery", "has_group_by_subquery"),
+            feature_is(access_path="index_scan", statement="SELECT"),
+        ),
+        "force_true",
+        "Aggregate subquery with GROUP BY under an indexed outer query is "
+        "mis-evaluated to true (query-planner optimization bug).",
+        paper_ref="Listing 1",
+        introduced_year=2022,
+    ),
+    _f(
+        "sqlite_join_on_exists",
+        "sqlite",
+        LOGIC,
+        FIXED,
+        {"join_on_result"},
+        feature_true("has_exists"),
+        "force_true",
+        "EXISTS predicate in a JOIN ... ON clause is treated as always "
+        "true, joining rows that should not match.",
+        paper_ref="Listing 8",
+        introduced_year=2022,
+    ),
+    _f(
+        "sqlite_view_join_where",
+        "sqlite",
+        LOGIC,
+        FIXED,
+        {"where_result"},
+        all_of(_no_subquery, feature_true("has_view"), _has_join),
+        "force_false",
+        "Filtering a join that includes a view drops all rows "
+        "(view-flattening optimization bug).",
+        paper_ref="Section 4.2 (ON-clause family)",
+        introduced_year=2019,
+    ),
+    _f(
+        "sqlite_index_between_where",
+        "sqlite",
+        LOGIC,
+        FIXED,
+        {"where_result"},
+        all_of(
+            _no_subquery,
+            feature_true("has_between"),
+            feature_is(access_path="index_scan"),
+        ),
+        "invert",
+        "BETWEEN range predicate over an index scan returns the "
+        "complement row set (index range boundary bug).",
+        introduced_year=2019,
+    ),
+    _f(
+        "sqlite_join_like_where",
+        "sqlite",
+        LOGIC,
+        FIXED,
+        {"where_result"},
+        all_of(_no_subquery, feature_true("has_like"), _has_join),
+        "force_false",
+        "LIKE predicate above a join drops every row (LIKE optimization "
+        "applied with wrong table binding).",
+        introduced_year=2021,
+    ),
+    _f(
+        "sqlite_having_between",
+        "sqlite",
+        LOGIC,
+        FIXED,
+        {"having_result"},
+        feature_true("has_between"),
+        "force_false",
+        "HAVING clause containing BETWEEN rejects every group.",
+        introduced_year=2021,
+    ),
+    # -- MySQL-like (1 logic) --------------------------------------------------
+    _f(
+        "mysql_join_cast_where",
+        "mysql",
+        LOGIC,
+        VERIFIED,
+        {"where_result"},
+        all_of(_no_subquery, feature_true("has_cast"), _has_join),
+        "invert",
+        "CAST inside a join predicate flips comparison results (mixed "
+        "type comparison bug; the paper's 14-year-latent bug).",
+        paper_ref="Section 4.2, longest-latency bug",
+        introduced_year=2009,
+    ),
+    # -- CockroachDB-like (7 logic) ---------------------------------------------
+    _f(
+        "cockroach_cte_case_not_between",
+        "cockroachdb",
+        LOGIC,
+        FIXED,
+        {"between_result"},
+        all_of(
+            feature_true("has_case", "stmt_has_cte"),
+            feature_is(negated=True),
+        ),
+        "invert",
+        "NOT BETWEEN whose bound contains a CASE evaluates to the "
+        "opposite value when the query reads from a CTE (the Listing-7 "
+        "bug retrieved a row that NOT BETWEEN should have excluded).",
+        paper_ref="Listing 7",
+        introduced_year=2021,
+    ),
+    _f(
+        "cockroach_in_large_int",
+        "cockroachdb",
+        LOGIC,
+        FIXED,
+        {"in_list_result"},
+        all_of(feature_is(rhs="list"), feature_true("has_large_int")),
+        "force_false",
+        "IN with a value list containing an out-of-INT4-range constant "
+        "returns empty (value-list type coercion bug).",
+        paper_ref="Listing 9",
+        introduced_year=2022,
+    ),
+    _f(
+        "cockroach_any_union_fold",
+        "cockroachdb",
+        LOGIC,
+        FIXED,
+        {"quantified_result"},
+        feature_true("subquery_no_from"),
+        "invert",
+        "ANY/ALL over a FROM-less UNION chain (a folded value list) "
+        "evaluates to the opposite result.",
+        paper_ref="Section 4.2, ANY expressions",
+        introduced_year=2022,
+    ),
+    _f(
+        "cockroach_avg_subquery",
+        "cockroachdb",
+        LOGIC,
+        FIXED,
+        {"agg_finish"},
+        all_of(feature_is(func="AVG"), feature_true("in_subquery")),
+        "off_by_one",
+        "AVG computed inside a subquery accumulates in a different order "
+        "and returns a perturbed value.",
+        paper_ref="Section 4.2, AVG function",
+        introduced_year=2021,
+    ),
+    _f(
+        "cockroach_index_cmp_where",
+        "cockroachdb",
+        LOGIC,
+        FIXED,
+        {"where_result"},
+        all_of(
+            _no_subquery,
+            feature_is(access_path="index_scan"),
+            lambda f: f.get("node_count", 0) >= 3,
+        ),
+        "force_false",
+        "Comparison predicates served by an index scan return no rows "
+        "(index constraint span bug).",
+        introduced_year=2020,
+    ),
+    _f(
+        "cockroach_cross_not_where",
+        "cockroachdb",
+        LOGIC,
+        FIXED,
+        {"where_result"},
+        all_of(
+            _no_subquery,
+            feature_true("has_not"),
+            lambda f: "CROSS" in f.get("join_kinds", ()),
+        ),
+        "invert",
+        "NOT above a cross join is dropped during filter pushdown, "
+        "inverting the retrieved row set.",
+        introduced_year=2019,
+    ),
+    _f(
+        "cockroach_left_isnull_where",
+        "cockroachdb",
+        LOGIC,
+        VERIFIED,
+        {"where_result"},
+        all_of(
+            _no_subquery,
+            feature_true("has_is_null"),
+            lambda f: "LEFT" in f.get("join_kinds", ()),
+        ),
+        "null_as_true",
+        "IS NULL filters above LEFT JOIN treat unknown predicates as "
+        "true for null-extended rows.",
+        paper_ref="Listing 4 family",
+        introduced_year=2022,
+    ),
+    # -- DuckDB-like (5 logic) -----------------------------------------------------
+    _f(
+        "duckdb_scalar_subquery_type",
+        "duckdb",
+        LOGIC,
+        FIXED,
+        {"scalar_subquery"},
+        all_of(feature_is(correlated=False), feature_true("has_agg_subquery")),
+        "negate_number",
+        "Return type of an uncorrelated aggregate scalar subquery is "
+        "mishandled, corrupting the value the outer query sees (the "
+        "auxiliary query obtains it with the correct type, paper "
+        "Section 4.2).",
+        paper_ref="Section 4.2, subquery return type",
+        introduced_year=2022,
+    ),
+    _f(
+        "duckdb_not_in_subquery",
+        "duckdb",
+        LOGIC,
+        FIXED,
+        {"in_subquery_result"},
+        feature_is(negated=True, rhs="subquery"),
+        "null_as_true",
+        "NOT IN (subquery) collapses UNKNOWN to TRUE, retrieving rows "
+        "whose membership is unknown (NULLs present).",
+        introduced_year=2022,
+    ),
+    _f(
+        "duckdb_exists_where",
+        "duckdb",
+        LOGIC,
+        FIXED,
+        {"exists_result"},
+        feature_is(negated=False, clause="where", statement="SELECT"),
+        "force_true",
+        "EXISTS in a SELECT's WHERE clause is always true (subquery "
+        "elimination applied on a non-empty assumption).",
+        introduced_year=2023,
+    ),
+    _f(
+        "duckdb_index_isnull_where",
+        "duckdb",
+        LOGIC,
+        FIXED,
+        {"where_result"},
+        all_of(
+            _no_subquery,
+            feature_true("has_is_null"),
+            feature_is(access_path="index_scan"),
+        ),
+        "force_true",
+        "IS NULL predicates over an index scan keep every row.",
+        introduced_year=2021,
+    ),
+    _f(
+        "duckdb_join_depth_where",
+        "duckdb",
+        LOGIC,
+        FIXED,
+        {"where_result"},
+        all_of(_no_subquery, _has_join, lambda f: f.get("depth", 0) >= 5),
+        "force_false",
+        "Deeply nested predicates above a join are mis-normalized and "
+        "drop all rows.",
+        introduced_year=2023,
+    ),
+    # -- TiDB-like (5 logic) ----------------------------------------------------------
+    _f(
+        "tidb_insert_select_version",
+        "tidb",
+        LOGIC,
+        VERIFIED,
+        {"insert_select_rows"},
+        feature_true("has_version_fn"),
+        "empty_rows",
+        "INSERT ... SELECT whose predicate calls VERSION() inserts no "
+        "rows although the bare SELECT returns rows.",
+        paper_ref="Listing 6",
+        introduced_year=2022,
+    ),
+    _f(
+        "tidb_correlated_shadow",
+        "tidb",
+        LOGIC,
+        VERIFIED,
+        {"scalar_subquery"},
+        all_of(
+            feature_is(correlated=False, clause="where"),
+            lambda f: not f.get("subquery_no_from"),
+        ),
+        "force_null",
+        "Uncorrelated scalar subquery in WHERE is misclassified as "
+        "correlated (identically-named columns) and yields NULL.",
+        paper_ref="Section 4.2, third subquery bug",
+        introduced_year=2022,
+    ),
+    _f(
+        "tidb_in_list_where_select",
+        "tidb",
+        LOGIC,
+        FIXED,
+        {"in_list_result"},
+        feature_is(rhs="list", clause="where", statement="SELECT"),
+        "force_false",
+        "IN with a value list is always false in SELECT WHERE clauses "
+        "but works in other clauses and statements.",
+        paper_ref="Listing 10",
+        introduced_year=2021,
+    ),
+    _f(
+        "tidb_join_in_where",
+        "tidb",
+        LOGIC,
+        VERIFIED,
+        {"where_result"},
+        all_of(_no_subquery, feature_true("has_in_list"), _has_join),
+        "invert",
+        "IN predicates above joins retrieve the complement row set "
+        "(join reorder loses the IN filter).",
+        introduced_year=2019,
+    ),
+    _f(
+        "tidb_having_case",
+        "tidb",
+        LOGIC,
+        VERIFIED,
+        {"having_result"},
+        feature_true("has_case"),
+        "invert",
+        "HAVING predicates containing CASE keep the complement group "
+        "set.",
+        introduced_year=2020,
+    ),
+]
+
+# ===========================================================================
+# Internal errors (14), crashes (2), hangs (5) -- paper Table 1 "other bugs"
+# ===========================================================================
+
+OTHER_FAULTS: list[Fault] = [
+    # SQLite: 1 internal error
+    _f(
+        "sqlite_ie_corr_group_subquery",
+        "sqlite",
+        INTERNAL,
+        FIXED,
+        {"scalar_subquery"},
+        all_of(feature_is(correlated=True), feature_true("has_group_by_subquery")),
+        "identity",
+        "Correlated aggregate subquery with GROUP BY aborts with a "
+        "malformed-plan internal error.",
+    ),
+    # MySQL: 1 internal error
+    _f(
+        "mysql_ie_sum_distinct",
+        "mysql",
+        INTERNAL,
+        VERIFIED,
+        {"agg_finish"},
+        all_of(feature_is(func="SUM"), feature_true("distinct")),
+        "identity",
+        "SUM(DISTINCT ...) raises an internal error during aggregation.",
+    ),
+    # CockroachDB: 4 internal errors + 2 hangs
+    _f(
+        "cockroach_ie_all_quantifier",
+        "cockroachdb",
+        INTERNAL,
+        FIXED,
+        {"quantified_result"},
+        feature_is(quantifier="ALL"),
+        "identity",
+        "ALL comparisons fail with an internal planning error.",
+    ),
+    _f(
+        "cockroach_ie_case_simple_subquery",
+        "cockroachdb",
+        INTERNAL,
+        FIXED,
+        {"case_result"},
+        all_of(feature_is(form="simple"), feature_true("in_subquery")),
+        "identity",
+        "Simple-form CASE inside a subquery hits an internal error.",
+    ),
+    _f(
+        "cockroach_ie_concat_cast",
+        "cockroachdb",
+        INTERNAL,
+        FIXED,
+        {"where_result"},
+        feature_true("has_concat", "has_cast"),
+        "identity",
+        "String concatenation combined with CAST in a predicate raises "
+        "an internal error.",
+    ),
+    _f(
+        "cockroach_ie_between_quantified",
+        "cockroachdb",
+        INTERNAL,
+        VERIFIED,
+        {"where_result"},
+        feature_true("has_quantified", "has_between"),
+        "identity",
+        "A predicate combining BETWEEN with a quantified comparison "
+        "raises an internal error.",
+    ),
+    _f(
+        "cockroach_hang_not_in_subquery",
+        "cockroachdb",
+        HANG,
+        FIXED,
+        {"in_subquery_result"},
+        all_of(feature_is(negated=True), feature_true("in_subquery")),
+        "identity",
+        "Nested NOT IN (subquery) never terminates (decorrelation loop).",
+    ),
+    _f(
+        "cockroach_hang_having_subquery",
+        "cockroachdb",
+        HANG,
+        FIXED,
+        {"having_result"},
+        feature_true("has_subquery"),
+        "identity",
+        "Subquery in HAVING makes the optimizer loop forever.",
+    ),
+    # DuckDB: 2 internal errors + 2 crashes + 3 hangs
+    _f(
+        "duckdb_ie_wide_in_list",
+        "duckdb",
+        INTERNAL,
+        FIXED,
+        {"in_list_result"},
+        lambda f: f.get("in_list_size", 0) >= 4,
+        "identity",
+        "IN lists with four or more items raise an internal error.",
+    ),
+    _f(
+        "duckdb_ie_min_compound",
+        "duckdb",
+        INTERNAL,
+        FIXED,
+        {"agg_finish"},
+        all_of(feature_is(func="MIN"), feature_true("arg_is_compound")),
+        "identity",
+        "MIN over a compound expression raises an internal error.",
+    ),
+    _f(
+        "duckdb_crash_iejoin_between",
+        "duckdb",
+        CRASH,
+        FIXED,
+        {"where_result"},
+        all_of(
+            _no_subquery,
+            feature_true("has_between"),
+            lambda f: "CROSS" in f.get("join_kinds", ()),
+        ),
+        "identity",
+        "BETWEEN above a cross join segfaults (IEJoin index "
+        "out-of-bounds, paper Section 4.1 'Other bugs').",
+        paper_ref="Section 4.1, IEJoin crashes",
+    ),
+    _f(
+        "duckdb_crash_iejoin_on",
+        "duckdb",
+        CRASH,
+        FIXED,
+        {"join_on_result"},
+        feature_true("has_between"),
+        "identity",
+        "BETWEEN inside JOIN ... ON segfaults (IEJoin type mismatch).",
+        paper_ref="Section 4.1, IEJoin crashes",
+    ),
+    _f(
+        "duckdb_hang_like_not_join",
+        "duckdb",
+        HANG,
+        FIXED,
+        {"where_result"},
+        all_of(feature_true("has_like", "has_not"), _has_join),
+        "identity",
+        "NOT ... LIKE above a join spins in the pattern matcher.",
+    ),
+    _f(
+        "duckdb_hang_nested_not_exists",
+        "duckdb",
+        HANG,
+        FIXED,
+        {"exists_result"},
+        all_of(feature_is(negated=True), feature_true("in_subquery")),
+        "identity",
+        "Nested NOT EXISTS never terminates.",
+    ),
+    _f(
+        "duckdb_hang_corr_group",
+        "duckdb",
+        HANG,
+        FIXED,
+        {"scalar_subquery"},
+        all_of(feature_is(correlated=True), feature_true("has_group_by_subquery")),
+        "identity",
+        "Correlated subquery with GROUP BY loops in decorrelation.",
+    ),
+    # TiDB: 6 internal errors
+    _f(
+        "tidb_ie_case_else_having",
+        "tidb",
+        INTERNAL,
+        VERIFIED,
+        {"case_result"},
+        feature_is(form="else", clause="having"),
+        "identity",
+        "CASE falling through to ELSE inside HAVING raises an internal "
+        "error.",
+    ),
+    _f(
+        "tidb_ie_avg_distinct",
+        "tidb",
+        INTERNAL,
+        VERIFIED,
+        {"agg_finish"},
+        all_of(feature_is(func="AVG"), feature_true("distinct")),
+        "identity",
+        "AVG(DISTINCT ...) raises an internal error.",
+    ),
+    _f(
+        "tidb_ie_exists_join_on",
+        "tidb",
+        INTERNAL,
+        VERIFIED,
+        {"exists_result"},
+        feature_is(clause="join_on"),
+        "identity",
+        "EXISTS inside JOIN ... ON raises an internal error.",
+    ),
+    _f(
+        "tidb_ie_version_where",
+        "tidb",
+        INTERNAL,
+        VERIFIED,
+        {"where_result"},
+        all_of(
+            feature_true("has_version_fn", "has_not"),
+            feature_is(statement="SELECT"),
+        ),
+        "identity",
+        "VERSION() under a negated SELECT predicate raises an internal "
+        "error.",
+    ),
+    _f(
+        "tidb_ie_some_quantifier",
+        "tidb",
+        INTERNAL,
+        FIXED,
+        {"quantified_result"},
+        feature_is(quantifier="SOME"),
+        "identity",
+        "SOME comparisons raise an internal error.",
+    ),
+    _f(
+        "tidb_ie_fetch_quantified",
+        "tidb",
+        INTERNAL,
+        FIXED,
+        {"fetch_value"},
+        all_of(feature_true("has_quantified"), feature_is(clause="fetch")),
+        "identity",
+        "Projecting a quantified comparison raises an internal error.",
+    ),
+]
+
+ALL_FAULTS: list[Fault] = LOGIC_FAULTS + OTHER_FAULTS
+
+FAULTS_BY_ID: dict[str, Fault] = {f.fault_id: f for f in ALL_FAULTS}
+
+FAULTS_BY_PROFILE: dict[str, list[Fault]] = {}
+for _fault in ALL_FAULTS:
+    FAULTS_BY_PROFILE.setdefault(_fault.profile, []).append(_fault)
+
+
+def table1_expected() -> dict[str, dict[str, int]]:
+    """Per-profile bug-type counts implied by the catalog (equals paper
+    Table 1 by construction; the benchmark asserts the campaign *finds*
+    them)."""
+    out: dict[str, dict[str, int]] = {}
+    for fault in ALL_FAULTS:
+        row = out.setdefault(
+            fault.profile,
+            {"logic": 0, "internal error": 0, "crash": 0, "hang": 0,
+             "fixed": 0, "verified": 0},
+        )
+        row[fault.bug_type.value] += 1
+        row[fault.status.value] += 1
+    return out

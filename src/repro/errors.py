@@ -1,0 +1,71 @@
+"""Exception taxonomy for the CODDTest reproduction.
+
+The paper (Section 4, Table 1) distinguishes four observable failure modes
+of a DBMS under test:
+
+* **logic bugs** -- silently wrong results; these are what the oracles
+  detect via result comparison and are *not* exceptions,
+* **internal errors** -- the engine raises an unexpected error for a valid
+  query (:class:`InternalError`),
+* **crashes** -- the engine process dies (:class:`EngineCrash` simulates a
+  segmentation fault),
+* **hangs** -- the engine never returns (:class:`EngineHang` simulates a
+  detected timeout).
+
+On top of those, the engine raises :class:`SqlError` subclasses for
+*expected* errors: malformed SQL, semantic violations, unsupported features.
+The campaign runner counts queries raising expected errors as
+"unsuccessful queries" (Table 3) rather than bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all exceptions raised by this package."""
+
+
+class SqlError(ReproError):
+    """Base class for *expected* SQL-level errors (not bugs)."""
+
+
+class ParseError(SqlError):
+    """The SQL text could not be tokenized or parsed."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        super().__init__(message)
+        self.position = position
+
+
+class CatalogError(SqlError):
+    """Unknown/duplicate table, column, index, or view."""
+
+
+class TypeError_(SqlError):
+    """Operation applied to operands of incompatible types.
+
+    Strict-typing profiles (DuckDB/CockroachDB-like, paper Section 3.3)
+    raise this where relaxed profiles coerce.
+    """
+
+
+class ValueError_(SqlError):
+    """Runtime value error, e.g. CAST failure or subquery returning more
+    than one row where a scalar is required (paper Listing 5)."""
+
+
+class UnsupportedError(SqlError):
+    """Feature not supported by the active dialect profile (e.g. ``ANY``
+    in the SQLite/DuckDB-like profiles, paper Section 3.3)."""
+
+
+class InternalError(ReproError):
+    """Unexpected engine-internal failure -- a bug category in Table 1."""
+
+
+class EngineCrash(ReproError):
+    """Simulated process crash (segfault) -- a bug category in Table 1."""
+
+
+class EngineHang(ReproError):
+    """Simulated non-termination detected by a watchdog -- Table 1."""

@@ -1,0 +1,22 @@
+"""Random generators: database states, expressions, and queries.
+
+Plays the role of SQLancer's rule-based generators (paper Section 4,
+Implementation): the state generator creates non-empty tables, views and
+indexes; the expression generator produces the expression phi that
+undergoes constant folding (with `max_depth` matching SQLancer's
+MaxDepth option, Figures 2-3); the query generator assembles original
+queries around phi.
+"""
+
+from repro.generator.state_gen import StateGenerator
+from repro.generator.expr_gen import ExprGenerator, GenExpr, ScopeColumn
+from repro.generator.query_gen import FromSkeleton, QueryGenerator
+
+__all__ = [
+    "StateGenerator",
+    "ExprGenerator",
+    "GenExpr",
+    "ScopeColumn",
+    "QueryGenerator",
+    "FromSkeleton",
+]

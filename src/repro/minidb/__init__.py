@@ -1,0 +1,23 @@
+"""MiniDB: the from-scratch SQL engine used as the DBMS under test.
+
+The paper evaluates CODDTest against five production DBMSs; this package
+is the substitute substrate -- a complete (small) relational engine with
+a parser, planner, optimizer, executor, dialect profiles, fault
+injection, and branch-coverage probes.  See DESIGN.md for the mapping.
+"""
+
+from repro.minidb.engine import Engine, EngineProfile, QueryResult
+from repro.minidb.faults import BugStatus, BugType, Fault, FaultInjector
+from repro.minidb.values import SqlType, TypingMode
+
+__all__ = [
+    "Engine",
+    "EngineProfile",
+    "QueryResult",
+    "Fault",
+    "FaultInjector",
+    "BugType",
+    "BugStatus",
+    "SqlType",
+    "TypingMode",
+]

@@ -1,0 +1,698 @@
+"""Recursive-descent SQL parser for MiniDB.
+
+Produces the AST of :mod:`repro.minidb.ast_nodes`.  The grammar covers the
+dialect the paper's generators exercise: SELECT with joins / grouping /
+set operations / CTEs, subqueries in expressions (EXISTS, IN, quantified
+comparisons, scalar), CASE, CAST, INSERT/UPDATE/DELETE, and the DDL the
+state generator emits (tables, expression/partial indexes, views).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.minidb import ast_nodes as A
+from repro.minidb.lexer import Token, tokenize
+
+
+def parse_statement(sql: str) -> A.Statement:
+    """Parse a single SQL statement (trailing ``;`` allowed)."""
+    parser = _Parser(tokenize(sql))
+    stmt = parser.statement()
+    parser.skip_op(";")
+    parser.expect_eof()
+    return stmt
+
+
+def parse_expression(sql: str) -> A.Expr:
+    """Parse a standalone SQL expression (used in tests and by tools)."""
+    parser = _Parser(tokenize(sql))
+    expr = parser.expr()
+    parser.expect_eof()
+    return expr
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token helpers ----------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        idx = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[idx]
+
+    def advance(self) -> Token:
+        tok = self._tokens[self._pos]
+        if tok.kind != "EOF":
+            self._pos += 1
+        return tok
+
+    def at_keyword(self, *words: str) -> bool:
+        tok = self.peek()
+        return tok.kind == "KEYWORD" and tok.text in words
+
+    def accept_keyword(self, *words: str) -> Token | None:
+        if self.at_keyword(*words):
+            return self.advance()
+        return None
+
+    def expect_keyword(self, word: str) -> Token:
+        tok = self.accept_keyword(word)
+        if tok is None:
+            got = self.peek()
+            raise ParseError(f"expected {word}, got {got.text!r}", got.pos)
+        return tok
+
+    def at_op(self, *ops: str) -> bool:
+        tok = self.peek()
+        return tok.kind == "OP" and tok.text in ops
+
+    def accept_op(self, *ops: str) -> Token | None:
+        if self.at_op(*ops):
+            return self.advance()
+        return None
+
+    def expect_op(self, op: str) -> Token:
+        tok = self.accept_op(op)
+        if tok is None:
+            got = self.peek()
+            raise ParseError(f"expected {op!r}, got {got.text!r}", got.pos)
+        return tok
+
+    def skip_op(self, op: str) -> None:
+        while self.at_op(op):
+            self.advance()
+
+    def ident(self) -> str:
+        tok = self.peek()
+        if tok.kind == "IDENT":
+            self.advance()
+            return tok.text
+        raise ParseError(f"expected identifier, got {tok.text!r}", tok.pos)
+
+    def expect_eof(self) -> None:
+        tok = self.peek()
+        if tok.kind != "EOF":
+            raise ParseError(f"unexpected trailing input {tok.text!r}", tok.pos)
+
+    # -- statements -------------------------------------------------------
+
+    def statement(self) -> A.Statement:
+        if self.at_keyword("SELECT", "WITH", "VALUES"):
+            return self.select()
+        if self.at_keyword("INSERT"):
+            return self.insert()
+        if self.at_keyword("UPDATE"):
+            return self.update()
+        if self.at_keyword("DELETE"):
+            return self.delete()
+        if self.at_keyword("CREATE"):
+            return self.create()
+        if self.at_keyword("DROP"):
+            return self.drop()
+        tok = self.peek()
+        raise ParseError(f"unexpected statement start {tok.text!r}", tok.pos)
+
+    def create(self) -> A.Statement:
+        self.expect_keyword("CREATE")
+        if self.accept_keyword("TABLE"):
+            return self._create_table()
+        unique = self.accept_keyword("UNIQUE") is not None
+        if self.accept_keyword("INDEX"):
+            return self._create_index(unique)
+        if unique:
+            tok = self.peek()
+            raise ParseError("expected INDEX after UNIQUE", tok.pos)
+        if self.accept_keyword("VIEW"):
+            return self._create_view()
+        tok = self.peek()
+        raise ParseError(f"cannot CREATE {tok.text!r}", tok.pos)
+
+    def _create_table(self) -> A.CreateTable:
+        if_not_exists = False
+        if self.accept_keyword("IF"):
+            self.expect_keyword("NOT")
+            self.expect_keyword("EXISTS")
+            if_not_exists = True
+        name = self.ident()
+        self.expect_op("(")
+        columns: list[A.ColumnDef] = []
+        while True:
+            col_name = self.ident()
+            type_name: str | None = None
+            tok = self.peek()
+            if tok.kind == "IDENT":
+                self.advance()
+                type_name = tok.text.upper()
+                # Accept e.g. VARCHAR(10)
+                if self.at_op("("):
+                    self.advance()
+                    while not self.at_op(")"):
+                        self.advance()
+                    self.expect_op(")")
+            not_null = False
+            primary_key = False
+            while True:
+                if self.accept_keyword("NOT"):
+                    self.expect_keyword("NULL")
+                    not_null = True
+                elif self.accept_keyword("PRIMARY"):
+                    self.expect_keyword("KEY")
+                    primary_key = True
+                else:
+                    break
+            columns.append(A.ColumnDef(col_name, type_name, not_null, primary_key))
+            if not self.accept_op(","):
+                break
+        self.expect_op(")")
+        return A.CreateTable(name, tuple(columns), if_not_exists)
+
+    def _create_index(self, unique: bool) -> A.CreateIndex:
+        name = self.ident()
+        self.expect_keyword("ON")
+        table = self.ident()
+        self.expect_op("(")
+        exprs: list[A.Expr] = [self.expr()]
+        while self.accept_op(","):
+            exprs.append(self.expr())
+        self.expect_op(")")
+        where = None
+        if self.accept_keyword("WHERE"):
+            where = self.expr()
+        return A.CreateIndex(name, table, tuple(exprs), where, unique)
+
+    def _create_view(self) -> A.CreateView:
+        name = self.ident()
+        columns: tuple[str, ...] = ()
+        if self.accept_op("("):
+            cols = [self.ident()]
+            while self.accept_op(","):
+                cols.append(self.ident())
+            self.expect_op(")")
+            columns = tuple(cols)
+        self.expect_keyword("AS")
+        query = self.select()
+        return A.CreateView(name, columns, query)
+
+    def drop(self) -> A.Drop:
+        self.expect_keyword("DROP")
+        tok = self.peek()
+        if not self.at_keyword("TABLE", "VIEW", "INDEX"):
+            raise ParseError(f"cannot DROP {tok.text!r}", tok.pos)
+        kind = self.advance().text
+        if_exists = False
+        if self.accept_keyword("IF"):
+            self.expect_keyword("EXISTS")
+            if_exists = True
+        name = self.ident()
+        return A.Drop(kind, name, if_exists)
+
+    def insert(self) -> A.Insert:
+        self.expect_keyword("INSERT")
+        self.expect_keyword("INTO")
+        table = self.ident()
+        columns: tuple[str, ...] = ()
+        if self.at_op("(") :
+            self.advance()
+            cols = [self.ident()]
+            while self.accept_op(","):
+                cols.append(self.ident())
+            self.expect_op(")")
+            columns = tuple(cols)
+        if self.at_keyword("VALUES"):
+            source: A.ValuesSource | A.Select = self.values_source()
+        else:
+            source = self.select()
+        return A.Insert(table, columns, source)
+
+    def values_source(self) -> A.ValuesSource:
+        self.expect_keyword("VALUES")
+        rows: list[tuple[A.Expr, ...]] = []
+        while True:
+            self.expect_op("(")
+            row: list[A.Expr] = [self.expr()]
+            while self.accept_op(","):
+                row.append(self.expr())
+            self.expect_op(")")
+            rows.append(tuple(row))
+            if not self.accept_op(","):
+                break
+        return A.ValuesSource(tuple(rows))
+
+    def update(self) -> A.Update:
+        self.expect_keyword("UPDATE")
+        table = self.ident()
+        self.expect_keyword("SET")
+        assignments: list[tuple[str, A.Expr]] = []
+        while True:
+            col = self.ident()
+            self.expect_op("=")
+            assignments.append((col, self.expr()))
+            if not self.accept_op(","):
+                break
+        where = None
+        if self.accept_keyword("WHERE"):
+            where = self.expr()
+        return A.Update(table, tuple(assignments), where)
+
+    def delete(self) -> A.Delete:
+        self.expect_keyword("DELETE")
+        self.expect_keyword("FROM")
+        table = self.ident()
+        where = None
+        if self.accept_keyword("WHERE"):
+            where = self.expr()
+        return A.Delete(table, where)
+
+    # -- SELECT -----------------------------------------------------------
+
+    def select(self) -> A.Select:
+        ctes: tuple[A.Cte, ...] = ()
+        if self.accept_keyword("WITH"):
+            cte_list: list[A.Cte] = [self._cte()]
+            while self.accept_op(","):
+                cte_list.append(self._cte())
+            ctes = tuple(cte_list)
+        core = self._select_core()
+        core = A.Select(**{**_fields(core), "ctes": ctes})
+        # set operations (left-associative chain encoded right-nested)
+        while self.at_keyword("UNION", "INTERSECT", "EXCEPT"):
+            op = self.advance().text
+            all_ = self.accept_keyword("ALL") is not None
+            rhs = self._select_core()
+            core = _attach_set_op(core, op, all_, rhs)
+        order_by: list[A.OrderItem] = []
+        if self.accept_keyword("ORDER"):
+            self.expect_keyword("BY")
+            order_by.append(self._order_item())
+            while self.accept_op(","):
+                order_by.append(self._order_item())
+        limit = offset = None
+        if self.accept_keyword("LIMIT"):
+            limit = self.expr()
+        if self.accept_keyword("OFFSET"):
+            offset = self.expr()
+        if order_by or limit is not None or offset is not None:
+            core = A.Select(
+                **{
+                    **_fields(core),
+                    "order_by": tuple(order_by),
+                    "limit": limit,
+                    "offset": offset,
+                }
+            )
+        return core
+
+    def _cte(self) -> A.Cte:
+        name = self.ident()
+        columns: tuple[str, ...] = ()
+        if self.accept_op("("):
+            cols = [self.ident()]
+            while self.accept_op(","):
+                cols.append(self.ident())
+            self.expect_op(")")
+            columns = tuple(cols)
+        self.expect_keyword("AS")
+        self.expect_op("(")
+        if self.at_keyword("VALUES"):
+            body: A.Select | A.ValuesSource = self.values_source()
+        else:
+            body = self.select()
+        self.expect_op(")")
+        return A.Cte(name, columns, body)
+
+    def _select_core(self) -> A.Select:
+        if self.at_keyword("VALUES"):
+            # Top-level VALUES: model as SELECT * FROM (VALUES ...) vt
+            values = self.values_source()
+            width = len(values.rows[0]) if values.rows else 0
+            aliases = tuple(f"column{i + 1}" for i in range(width))
+            return A.Select(
+                items=(A.SelectItem(None),),
+                from_clause=A.ValuesTable(values.rows, "_values", aliases),
+            )
+        self.expect_keyword("SELECT")
+        distinct = self.accept_keyword("DISTINCT") is not None
+        self.accept_keyword("ALL")
+        items: list[A.SelectItem] = [self._select_item()]
+        while self.accept_op(","):
+            items.append(self._select_item())
+        from_clause = None
+        if self.accept_keyword("FROM"):
+            from_clause = self._table_ref()
+        where = None
+        if self.accept_keyword("WHERE"):
+            where = self.expr()
+        group_by: tuple[A.Expr, ...] = ()
+        if self.accept_keyword("GROUP"):
+            self.expect_keyword("BY")
+            groups = [self.expr()]
+            while self.accept_op(","):
+                groups.append(self.expr())
+            group_by = tuple(groups)
+        having = None
+        if self.accept_keyword("HAVING"):
+            having = self.expr()
+        return A.Select(
+            items=tuple(items),
+            from_clause=from_clause,
+            where=where,
+            group_by=group_by,
+            having=having,
+            distinct=distinct,
+        )
+
+    def _select_item(self) -> A.SelectItem:
+        if self.at_op("*"):
+            self.advance()
+            return A.SelectItem(None)
+        # t.* pattern
+        tok = self.peek()
+        if (
+            tok.kind == "IDENT"
+            and self.peek(1).kind == "OP"
+            and self.peek(1).text == "."
+            and self.peek(2).kind == "OP"
+            and self.peek(2).text == "*"
+        ):
+            self.advance()
+            self.advance()
+            self.advance()
+            return A.SelectItem(None, table_star=tok.text)
+        expr = self.expr()
+        alias = None
+        if self.accept_keyword("AS"):
+            alias = self.ident()
+        elif self.peek().kind == "IDENT":
+            alias = self.ident()
+        return A.SelectItem(expr, alias)
+
+    def _order_item(self) -> A.OrderItem:
+        expr = self.expr()
+        ascending = True
+        if self.accept_keyword("DESC"):
+            ascending = False
+        else:
+            self.accept_keyword("ASC")
+        return A.OrderItem(expr, ascending)
+
+    # -- FROM clause ------------------------------------------------------
+
+    def _table_ref(self) -> A.TableRef:
+        left = self._join_chain()
+        while self.accept_op(","):
+            right = self._join_chain()
+            left = A.Join("CROSS", left, right, None)
+        return left
+
+    def _join_chain(self) -> A.TableRef:
+        left = self._table_primary()
+        while True:
+            kind: str | None = None
+            if self.accept_keyword("CROSS"):
+                self.expect_keyword("JOIN")
+                kind = "CROSS"
+            elif self.accept_keyword("INNER"):
+                self.expect_keyword("JOIN")
+                kind = "INNER"
+            elif self.accept_keyword("LEFT"):
+                self.accept_keyword("OUTER")
+                self.expect_keyword("JOIN")
+                kind = "LEFT"
+            elif self.accept_keyword("RIGHT"):
+                self.accept_keyword("OUTER")
+                self.expect_keyword("JOIN")
+                kind = "RIGHT"
+            elif self.accept_keyword("FULL"):
+                self.accept_keyword("OUTER")
+                self.expect_keyword("JOIN")
+                kind = "FULL"
+            elif self.accept_keyword("JOIN"):
+                kind = "INNER"
+            else:
+                return left
+            right = self._table_primary()
+            on = None
+            if self.accept_keyword("ON"):
+                on = self.expr()
+            left = A.Join(kind, left, right, on)
+
+    def _table_primary(self) -> A.TableRef:
+        if self.accept_op("("):
+            if self.at_keyword("VALUES"):
+                values = self.values_source()
+                self.expect_op(")")
+                alias, col_aliases = self._alias_with_columns(required=True)
+                return A.ValuesTable(values.rows, alias, col_aliases)
+            if self.at_keyword("SELECT", "WITH"):
+                query = self.select()
+                self.expect_op(")")
+                alias, col_aliases = self._alias_with_columns(required=True)
+                return A.DerivedTable(query, alias, col_aliases)
+            # Parenthesized table reference.
+            inner = self._table_ref()
+            self.expect_op(")")
+            return inner
+        name = self.ident()
+        alias = None
+        if self.accept_keyword("AS"):
+            alias = self.ident()
+        elif self.peek().kind == "IDENT":
+            alias = self.ident()
+        indexed_by = None
+        if self.accept_keyword("INDEXED"):
+            self.expect_keyword("BY")
+            indexed_by = self.ident()
+        return A.NamedTable(name, alias, indexed_by)
+
+    def _alias_with_columns(self, required: bool) -> tuple[str, tuple[str, ...]]:
+        self.accept_keyword("AS")
+        tok = self.peek()
+        if tok.kind != "IDENT":
+            if required:
+                raise ParseError("derived table requires an alias", tok.pos)
+            return "", ()
+        alias = self.ident()
+        col_aliases: tuple[str, ...] = ()
+        if self.accept_op("("):
+            cols = [self.ident()]
+            while self.accept_op(","):
+                cols.append(self.ident())
+            self.expect_op(")")
+            col_aliases = tuple(cols)
+        return alias, col_aliases
+
+    # -- expressions --------------------------------------------------------
+
+    def expr(self) -> A.Expr:
+        return self._or_expr()
+
+    def _or_expr(self) -> A.Expr:
+        left = self._and_expr()
+        while self.accept_keyword("OR"):
+            left = A.Binary("OR", left, self._and_expr())
+        return left
+
+    def _and_expr(self) -> A.Expr:
+        left = self._not_expr()
+        while self.accept_keyword("AND"):
+            left = A.Binary("AND", left, self._not_expr())
+        return left
+
+    def _not_expr(self) -> A.Expr:
+        if self.accept_keyword("NOT"):
+            # NOT EXISTS is its own construct (engines treat it as an
+            # anti-join, distinct from negating an EXISTS result).
+            if self.at_keyword("EXISTS"):
+                self.advance()
+                self.expect_op("(")
+                query = self.select()
+                self.expect_op(")")
+                return A.Exists(query, negated=True)
+            return A.Unary("NOT", self._not_expr())
+        return self._comparison()
+
+    def _comparison(self) -> A.Expr:
+        left = self._additive()
+        while True:
+            if self.at_op("=", "!=", "<>", "<", "<=", ">", ">="):
+                op = self.advance().text
+                if op == "<>":
+                    op = "!="
+                if self.at_keyword("ANY", "ALL", "SOME"):
+                    quant = self.advance().text
+                    self.expect_op("(")
+                    query = self.select()
+                    self.expect_op(")")
+                    left = A.Quantified(left, op, quant, query)
+                else:
+                    left = A.Binary(op, left, self._additive())
+                continue
+            negated = False
+            save = self._pos
+            if self.accept_keyword("NOT"):
+                if self.at_keyword("BETWEEN", "IN", "LIKE"):
+                    negated = True
+                else:
+                    self._pos = save
+                    break
+            if self.accept_keyword("BETWEEN"):
+                low = self._additive()
+                self.expect_keyword("AND")
+                high = self._additive()
+                left = A.Between(left, low, high, negated)
+                continue
+            if self.accept_keyword("IN"):
+                self.expect_op("(")
+                if self.at_keyword("SELECT", "WITH"):
+                    query = self.select()
+                    self.expect_op(")")
+                    left = A.InSubquery(left, query, negated)
+                else:
+                    items = [self.expr()]
+                    while self.accept_op(","):
+                        items.append(self.expr())
+                    self.expect_op(")")
+                    left = A.InList(left, tuple(items), negated)
+                continue
+            if self.accept_keyword("LIKE"):
+                pattern = self._additive()
+                op_name = "NOT LIKE" if negated else "LIKE"
+                left = A.Binary(op_name, left, pattern)
+                continue
+            if self.accept_keyword("IS"):
+                is_not = self.accept_keyword("NOT") is not None
+                if self.accept_keyword("NULL"):
+                    left = A.IsNull(left, is_not)
+                else:
+                    right = self._additive()
+                    left = A.Binary("IS NOT" if is_not else "IS", left, right)
+                continue
+            break
+        return left
+
+    def _additive(self) -> A.Expr:
+        left = self._multiplicative()
+        while self.at_op("+", "-", "||"):
+            op = self.advance().text
+            left = A.Binary(op, left, self._multiplicative())
+        return left
+
+    def _multiplicative(self) -> A.Expr:
+        left = self._unary()
+        while self.at_op("*", "/", "%"):
+            op = self.advance().text
+            left = A.Binary(op, left, self._unary())
+        return left
+
+    def _unary(self) -> A.Expr:
+        if self.at_op("-"):
+            self.advance()
+            return A.Unary("-", self._unary())
+        if self.at_op("+"):
+            self.advance()
+            return self._unary()
+        return self._primary()
+
+    def _primary(self) -> A.Expr:
+        tok = self.peek()
+        if tok.kind in ("INT", "FLOAT", "STRING"):
+            self.advance()
+            return A.Literal(tok.value)  # type: ignore[arg-type]
+        if self.accept_keyword("NULL"):
+            return A.Literal(None)
+        if self.accept_keyword("TRUE"):
+            return A.Literal(True)
+        if self.accept_keyword("FALSE"):
+            return A.Literal(False)
+        if self.accept_keyword("CAST"):
+            self.expect_op("(")
+            inner = self.expr()
+            self.expect_keyword("AS")
+            type_tok = self.peek()
+            if type_tok.kind != "IDENT" and type_tok.kind != "KEYWORD":
+                raise ParseError("expected type name in CAST", type_tok.pos)
+            self.advance()
+            self.expect_op(")")
+            return A.Cast(inner, type_tok.text.upper())
+        if self.accept_keyword("CASE"):
+            return self._case()
+        if self.accept_keyword("EXISTS"):
+            self.expect_op("(")
+            query = self.select()
+            self.expect_op(")")
+            return A.Exists(query)
+        if self.at_keyword("NOT"):
+            # NOT EXISTS handled in _not_expr; bare NOT here is an error.
+            raise ParseError("misplaced NOT", tok.pos)
+        if self.accept_op("("):
+            if self.at_keyword("SELECT", "WITH"):
+                query = self.select()
+                self.expect_op(")")
+                return A.ScalarSubquery(query)
+            inner = self.expr()
+            self.expect_op(")")
+            return inner
+        if tok.kind == "IDENT":
+            # function call?
+            if self.peek(1).kind == "OP" and self.peek(1).text == "(":
+                return self._func_call()
+            self.advance()
+            if self.at_op(".") and self.peek(1).kind == "IDENT":
+                self.advance()
+                column = self.ident()
+                return A.ColumnRef(tok.text, column)
+            return A.ColumnRef(None, tok.text)
+        raise ParseError(f"unexpected token {tok.text!r} in expression", tok.pos)
+
+    def _func_call(self) -> A.Expr:
+        name = self.ident().upper()
+        self.expect_op("(")
+        if self.at_op("*"):
+            self.advance()
+            self.expect_op(")")
+            return A.FuncCall(name, (), star=True)
+        distinct = self.accept_keyword("DISTINCT") is not None
+        args: list[A.Expr] = []
+        if not self.at_op(")"):
+            args.append(self.expr())
+            while self.accept_op(","):
+                args.append(self.expr())
+        self.expect_op(")")
+        return A.FuncCall(name, tuple(args), distinct=distinct)
+
+    def _case(self) -> A.Expr:
+        operand = None
+        if not self.at_keyword("WHEN"):
+            operand = self.expr()
+        whens: list[A.CaseWhen] = []
+        while self.accept_keyword("WHEN"):
+            cond = self.expr()
+            self.expect_keyword("THEN")
+            result = self.expr()
+            whens.append(A.CaseWhen(cond, result))
+        else_ = None
+        if self.accept_keyword("ELSE"):
+            else_ = self.expr()
+        self.expect_keyword("END")
+        if not whens:
+            tok = self.peek()
+            raise ParseError("CASE requires at least one WHEN", tok.pos)
+        return A.Case(operand, tuple(whens), else_)
+
+
+def _fields(select: A.Select) -> dict:
+    """Dataclass fields of a Select as a dict (for functional updates)."""
+    import dataclasses
+
+    return {f.name: getattr(select, f.name) for f in dataclasses.fields(select)}
+
+
+def _attach_set_op(left: A.Select, op: str, all_: bool, right: A.Select) -> A.Select:
+    """Attach a set operation at the end of the existing chain."""
+    if left.set_op is None:
+        return A.Select(**{**_fields(left), "set_op": (op, all_, right)})
+    inner_op, inner_all, inner_rhs = left.set_op
+    new_rhs = _attach_set_op(inner_rhs, op, all_, right)
+    return A.Select(**{**_fields(left), "set_op": (inner_op, inner_all, new_rhs)})

@@ -1,0 +1,433 @@
+"""SQL value model and three-valued logic for MiniDB.
+
+SQL values are represented with plain Python objects:
+
+* ``None``  -- SQL ``NULL``
+* ``bool``  -- SQL ``BOOLEAN`` (``TRUE`` / ``FALSE``)
+* ``int``   -- SQL ``INTEGER``
+* ``float`` -- SQL ``REAL``
+* ``str``   -- SQL ``TEXT``
+
+All operator semantics live here so that the evaluator, the optimizer's
+constant folder, and the executor agree on a single source of truth.  The
+paper's oracles only work if expression evaluation is deterministic for a
+fixed database state (Section 5, "CODDTest scope"), so nothing in this
+module consults global state.
+
+Two typing modes mirror the paper's Section 3.3 observation: SQLite and
+MySQL freely coerce operand types, while DuckDB and CockroachDB follow
+strict typing rules and raise errors instead.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from typing import Any
+
+from repro.errors import TypeError_, ValueError_
+
+SqlValue = None | bool | int | float | str
+
+#: Maximum magnitude for 64-bit-style integer overflow checks.
+INT64_MAX = 2**63 - 1
+INT64_MIN = -(2**63)
+
+
+class TypingMode(enum.Enum):
+    """How an engine dialect treats cross-type operations."""
+
+    #: SQLite/MySQL-like: coerce operands, never raise for type mixes.
+    RELAXED = "relaxed"
+    #: DuckDB/CockroachDB-like: raise :class:`TypeError_` on bad mixes.
+    STRICT = "strict"
+
+
+class SqlType(enum.Enum):
+    """Runtime SQL types (paper engines' storage classes, simplified)."""
+
+    NULL = "null"
+    BOOLEAN = "boolean"
+    INTEGER = "integer"
+    REAL = "real"
+    TEXT = "text"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+def type_of(value: SqlValue) -> SqlType:
+    """Return the runtime :class:`SqlType` of *value*."""
+    if value is None:
+        return SqlType.NULL
+    if isinstance(value, bool):
+        return SqlType.BOOLEAN
+    if isinstance(value, int):
+        return SqlType.INTEGER
+    if isinstance(value, float):
+        return SqlType.REAL
+    if isinstance(value, str):
+        return SqlType.TEXT
+    raise TypeError_(f"unsupported Python value for SQL: {value!r}")
+
+
+def sql_literal(value: SqlValue) -> str:
+    """Render *value* as a SQL literal, suitable for constant propagation.
+
+    This is the textual form CODDTest substitutes into folded queries, so
+    it must round-trip through the parser to the identical value.
+    """
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "(0.0 / 0.0)"
+        if math.isinf(value):
+            return "(1.0 / 0.0)" if value > 0 else "(-1.0 / 0.0)"
+        return repr(value)
+    escaped = value.replace("'", "''")
+    return f"'{escaped}'"
+
+
+# ---------------------------------------------------------------------------
+# Three-valued logic
+# ---------------------------------------------------------------------------
+
+Ternary = None | bool
+
+
+def and3(a: Ternary, b: Ternary) -> Ternary:
+    """SQL ``AND`` with NULL as UNKNOWN."""
+    if a is False or b is False:
+        return False
+    if a is None or b is None:
+        return None
+    return True
+
+
+def or3(a: Ternary, b: Ternary) -> Ternary:
+    """SQL ``OR`` with NULL as UNKNOWN."""
+    if a is True or b is True:
+        return True
+    if a is None or b is None:
+        return None
+    return False
+
+
+def not3(a: Ternary) -> Ternary:
+    """SQL ``NOT`` with NULL as UNKNOWN."""
+    if a is None:
+        return None
+    return not a
+
+
+def truth(value: SqlValue, mode: TypingMode) -> Ternary:
+    """Interpret *value* as a predicate outcome (TRUE/FALSE/UNKNOWN).
+
+    Relaxed engines (SQLite, MySQL) treat any non-zero number as true;
+    strict engines require a boolean and raise otherwise (CockroachDB
+    "lacks automatic implicit casts ... to boolean", paper Section 3.3).
+    """
+    if value is None:
+        return None
+    if isinstance(value, bool):
+        return value
+    if mode is TypingMode.STRICT:
+        raise TypeError_(f"expected BOOLEAN predicate, got {type_of(value)}")
+    if isinstance(value, (int, float)):
+        return value != 0
+    # SQLite semantics: text is cast to a number; non-numeric prefix -> 0.
+    return _text_to_number(value) != 0
+
+
+def _text_to_number(text: str) -> int | float:
+    """SQLite-style lossy text-to-number coercion (longest numeric prefix)."""
+    text = text.strip()
+    best: int | float = 0
+    for end in range(len(text), 0, -1):
+        chunk = text[:end]
+        try:
+            return int(chunk)
+        except ValueError:
+            try:
+                return float(chunk)
+            except ValueError:
+                continue
+    return best
+
+
+# ---------------------------------------------------------------------------
+# Comparisons
+# ---------------------------------------------------------------------------
+
+_NUMERIC = (int, float)
+
+
+def _as_number(value: SqlValue) -> int | float:
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, _NUMERIC):
+        return value
+    if isinstance(value, str):
+        return _text_to_number(value)
+    raise TypeError_(f"cannot treat {type_of(value)} as a number")
+
+
+def compare(a: SqlValue, b: SqlValue, mode: TypingMode) -> Ternary | int:
+    """Compare two values, returning ``None`` if either is NULL, else
+    a negative/zero/positive int like ``cmp``.
+
+    Relaxed mode coerces mixed numeric/text pairs to numbers (SQLite
+    affinity, simplified); strict mode raises :class:`TypeError_` for
+    incomparable types.
+    """
+    if a is None or b is None:
+        return None
+    ta, tb = type_of(a), type_of(b)
+    if ta == tb:
+        if isinstance(a, str):
+            return (a > b) - (a < b)  # type: ignore[operator]
+        na, nb = _as_number(a), _as_number(b)
+        return (na > nb) - (na < nb)
+    numeric = {SqlType.BOOLEAN, SqlType.INTEGER, SqlType.REAL}
+    if ta in numeric and tb in numeric:
+        na, nb = _as_number(a), _as_number(b)
+        return (na > nb) - (na < nb)
+    if mode is TypingMode.STRICT:
+        raise TypeError_(f"cannot compare {ta} with {tb}")
+    # Relaxed: coerce both sides to numbers (SQLite-ish simplification).
+    na, nb = _as_number(a), _as_number(b)
+    return (na > nb) - (na < nb)
+
+
+def eq3(a: SqlValue, b: SqlValue, mode: TypingMode) -> Ternary:
+    """SQL ``=`` under three-valued logic."""
+    c = compare(a, b, mode)
+    if c is None:
+        return None
+    return c == 0
+
+
+def distinct_eq(a: SqlValue, b: SqlValue) -> bool:
+    """NULL-safe equality used for ``IS [NOT]``, DISTINCT, and GROUP BY keys."""
+    if a is None and b is None:
+        return True
+    if a is None or b is None:
+        return False
+    c = compare(a, b, TypingMode.RELAXED)
+    assert c is not None
+    return c == 0
+
+
+_SORT_RANK = {
+    SqlType.NULL: 0,
+    SqlType.BOOLEAN: 1,
+    SqlType.INTEGER: 1,
+    SqlType.REAL: 1,
+    SqlType.TEXT: 2,
+}
+
+
+def sort_key(value: SqlValue) -> tuple[int, Any]:
+    """Deterministic total order across all SQL values.
+
+    NULLs sort first, then numerics (bool as 0/1), then text -- the
+    SQLite storage-class ordering, which both the executor's ORDER BY and
+    the test oracles' row-multiset comparison rely on.
+    """
+    rank = _SORT_RANK[type_of(value)]
+    if value is None:
+        return (rank, 0)
+    if isinstance(value, bool):
+        return (rank, int(value))
+    return (rank, value)
+
+
+def row_sort_key(row: tuple[SqlValue, ...]) -> tuple[tuple[int, Any], ...]:
+    """Sort key for a whole row (used to canonicalize result multisets)."""
+    return tuple(sort_key(v) for v in row)
+
+
+# ---------------------------------------------------------------------------
+# Arithmetic
+# ---------------------------------------------------------------------------
+
+
+def _numeric_operands(
+    a: SqlValue, b: SqlValue, mode: TypingMode, op: str
+) -> tuple[int | float, int | float] | None:
+    if a is None or b is None:
+        return None
+    if mode is TypingMode.STRICT:
+        for v in (a, b):
+            if isinstance(v, str) or isinstance(v, bool):
+                raise TypeError_(f"{op}: operand {type_of(v)} is not numeric")
+    return _as_number(a), _as_number(b)
+
+
+def _check_int_range(value: int | float) -> int | float:
+    if isinstance(value, int) and not (INT64_MIN <= value <= INT64_MAX):
+        raise ValueError_("integer overflow")
+    return value
+
+
+def arith(op: str, a: SqlValue, b: SqlValue, mode: TypingMode) -> SqlValue:
+    """Evaluate a binary arithmetic operator (``+ - * / %``).
+
+    NULL propagates.  Integer division truncates toward zero (SQLite).
+    Division by zero yields NULL in relaxed mode and raises in strict mode
+    (matching DuckDB/CockroachDB, whose errors the paper counts as
+    "unsuccessful queries").  Overflow past 64 bits raises
+    :class:`ValueError_` -- the expected-error class the DuckDB bug in
+    paper Listing 11 produces.
+    """
+    pair = _numeric_operands(a, b, mode, op)
+    if pair is None:
+        return None
+    na, nb = pair
+    if op == "+":
+        return _check_int_range(na + nb)
+    if op == "-":
+        return _check_int_range(na - nb)
+    if op == "*":
+        return _check_int_range(na * nb)
+    if op == "/":
+        if nb == 0:
+            if mode is TypingMode.STRICT:
+                raise ValueError_("division by zero")
+            return None
+        if isinstance(na, int) and isinstance(nb, int):
+            return _truncdiv(na, nb)
+        return na / nb
+    if op == "%":
+        ia, ib = int(na), int(nb)
+        if ib == 0:  # includes fractional divisors truncating to zero
+            if mode is TypingMode.STRICT:
+                raise ValueError_("modulo by zero")
+            return None
+        return ia - _truncdiv(ia, ib) * ib
+    raise TypeError_(f"unknown arithmetic operator {op!r}")
+
+
+def _truncdiv(a: int, b: int) -> int:
+    """C-style integer division truncating toward zero."""
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q
+
+
+def negate(value: SqlValue, mode: TypingMode) -> SqlValue:
+    """Unary minus with NULL propagation."""
+    if value is None:
+        return None
+    if mode is TypingMode.STRICT and (isinstance(value, (str, bool))):
+        raise TypeError_(f"cannot negate {type_of(value)}")
+    n = _as_number(value)
+    return _check_int_range(-n)
+
+
+def concat(a: SqlValue, b: SqlValue) -> SqlValue:
+    """SQL ``||`` string concatenation with NULL propagation."""
+    if a is None or b is None:
+        return None
+    return to_text(a) + to_text(b)
+
+
+# ---------------------------------------------------------------------------
+# Casts
+# ---------------------------------------------------------------------------
+
+
+def to_text(value: SqlValue) -> str:
+    """CAST to TEXT (NULL handled by caller)."""
+    assert value is not None
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, float) and value.is_integer():
+        return f"{value:.1f}"
+    return str(value)
+
+
+def cast(value: SqlValue, target: SqlType, mode: TypingMode) -> SqlValue:
+    """SQL ``CAST(value AS target)``.
+
+    The paper (Section 4.1, "False alarms") notes that SQLite's relaxed
+    type system required the authors to insert explicit casts; this
+    function implements those casts for all profiles.
+    """
+    if value is None:
+        return None
+    if target is SqlType.NULL:
+        return None
+    if target is SqlType.TEXT:
+        return to_text(value)
+    if target is SqlType.BOOLEAN:
+        t = truth(value, TypingMode.RELAXED)
+        return t
+    if target is SqlType.INTEGER:
+        if isinstance(value, str):
+            if mode is TypingMode.STRICT:
+                stripped = value.strip()
+                try:
+                    return _check_int_range(int(stripped))
+                except ValueError:
+                    raise ValueError_(f"cannot cast {value!r} to INTEGER") from None
+            coerced = _text_to_number(value)
+            return int(coerced)
+        return _check_int_range(int(_as_number(value)))
+    if target is SqlType.REAL:
+        if isinstance(value, str):
+            if mode is TypingMode.STRICT:
+                try:
+                    return float(value.strip())
+                except ValueError:
+                    raise ValueError_(f"cannot cast {value!r} to REAL") from None
+            return float(_text_to_number(value))
+        return float(_as_number(value))
+    raise TypeError_(f"unknown cast target {target}")
+
+
+# ---------------------------------------------------------------------------
+# LIKE
+# ---------------------------------------------------------------------------
+
+
+def like(value: SqlValue, pattern: SqlValue, mode: TypingMode) -> Ternary:
+    """SQL ``LIKE`` with ``%`` and ``_`` wildcards (case-insensitive,
+    SQLite default).  Non-text operands are coerced in relaxed mode.
+    """
+    if value is None or pattern is None:
+        return None
+    if mode is TypingMode.STRICT and not (
+        isinstance(value, str) and isinstance(pattern, str)
+    ):
+        raise TypeError_("LIKE requires TEXT operands")
+    text = to_text(value).lower()
+    pat = to_text(pattern).lower()
+    return _like_match(text, pat)
+
+
+def _like_match(text: str, pat: str) -> bool:
+    """Iterative wildcard matcher (avoids regex-escaping pitfalls)."""
+    ti = pi = 0
+    star_ti = star_pi = -1
+    while ti < len(text):
+        if pi < len(pat) and (pat[pi] == "_" or pat[pi] == text[ti]):
+            ti += 1
+            pi += 1
+        elif pi < len(pat) and pat[pi] == "%":
+            star_pi = pi
+            star_ti = ti
+            pi += 1
+        elif star_pi != -1:
+            star_ti += 1
+            ti = star_ti
+            pi = star_pi + 1
+        else:
+            return False
+    while pi < len(pat) and pat[pi] == "%":
+        pi += 1
+    return pi == len(pat)

@@ -1,0 +1,194 @@
+"""Shared oracle infrastructure.
+
+A test oracle consumes a prepared database state and runs *tests*: small
+groups of queries whose results must satisfy a metamorphic relation.
+Outcomes:
+
+* ``ok``    -- relation held,
+* ``bug``   -- relation violated (logic bug) or the engine raised an
+  internal error / crash / hang (paper Table 1's other bug kinds),
+* ``error`` -- a query raised an *expected* error; the test is discarded
+  and counted as unsuccessful (paper Table 3's "unsuccessful queries"),
+* ``skip``  -- the oracle could not build a test (e.g. empty join result,
+  paper Section 3.2).
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from dataclasses import dataclass, field
+
+from repro.adapters.base import EngineAdapter, ExecResult, SchemaInfo
+from repro.errors import EngineCrash, EngineHang, InternalError, SqlError
+from repro.minidb.values import SqlValue, row_sort_key
+
+
+@dataclass
+class TestReport:
+    """One bug-inducing test case."""
+
+    oracle: str
+    kind: str  # "logic" | "internal error" | "crash" | "hang"
+    statements: list[str]
+    description: str
+    fired_faults: frozenset[str] = frozenset()
+
+
+@dataclass
+class TestOutcome:
+    """Result of one oracle iteration."""
+
+    status: str  # "ok" | "bug" | "error" | "skip"
+    report: TestReport | None = None
+    queries_ok: int = 0
+    queries_err: int = 0
+    fingerprint: str | None = None
+
+
+class OracleSkip(Exception):
+    """Internal control flow: abandon the current test."""
+
+    def __init__(self, counted_as_error: bool = False) -> None:
+        super().__init__()
+        self.counted_as_error = counted_as_error
+
+
+class Oracle(abc.ABC):
+    """Base class for all test oracles."""
+
+    name = "oracle"
+
+    def __init__(self) -> None:
+        self.adapter: EngineAdapter | None = None
+        self.schema: SchemaInfo | None = None
+        self.rng: random.Random = random.Random(0)
+        self._q_ok = 0
+        self._q_err = 0
+        self._fired: set[str] = set()
+        self._statements: list[str] = []
+        self._fingerprint: str | None = None
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def prepare(
+        self, adapter: EngineAdapter, schema: SchemaInfo, rng: random.Random
+    ) -> None:
+        """Bind the oracle to a fresh database state."""
+        self.adapter = adapter
+        self.schema = schema
+        self.rng = rng
+        self.on_prepare()
+
+    def on_prepare(self) -> None:
+        """Hook for subclasses to rebuild their generators."""
+
+    def run_one(self) -> TestOutcome:
+        """Run a single test against the current state."""
+        assert self.adapter is not None, "prepare() must be called first"
+        self._q_ok = 0
+        self._q_err = 0
+        self._fired = set()
+        self._statements = []
+        self._fingerprint = None
+        try:
+            report = self.check_once()
+        except OracleSkip as skip:
+            return self._outcome("error" if skip.counted_as_error else "skip")
+        except InternalError as exc:
+            return self._bug("internal error", str(exc))
+        except EngineCrash as exc:
+            return self._bug("crash", str(exc))
+        except EngineHang as exc:
+            return self._bug("hang", str(exc))
+        if report is not None:
+            report.fired_faults = frozenset(self._fired)
+            report.statements = list(self._statements)
+            out = self._outcome("bug")
+            out.report = report
+            return out
+        return self._outcome("ok")
+
+    @abc.abstractmethod
+    def check_once(self) -> TestReport | None:
+        """Build and check one metamorphic test.  Return a report on
+        violation, None when the relation held."""
+
+    # -- helpers ----------------------------------------------------------------
+
+    def _outcome(self, status: str) -> TestOutcome:
+        return TestOutcome(
+            status=status,
+            queries_ok=self._q_ok,
+            queries_err=self._q_err,
+            fingerprint=self._fingerprint,
+        )
+
+    def _bug(self, kind: str, message: str) -> TestOutcome:
+        out = self._outcome("bug")
+        out.report = TestReport(
+            oracle=self.name,
+            kind=kind,
+            statements=list(self._statements),
+            description=message,
+            fired_faults=frozenset(self._fired),
+        )
+        return out
+
+    def execute(self, sql: str, is_main_query: bool = False) -> ExecResult:
+        """Run one query, with bookkeeping.
+
+        Expected errors abandon the test (raising :class:`OracleSkip`);
+        injected internal errors / crashes / hangs propagate to
+        :meth:`run_one`, which converts them to bug reports.
+        """
+        assert self.adapter is not None
+        self._statements.append(sql)
+        try:
+            result = self.adapter.execute(sql)
+        except SqlError:
+            self._q_err += 1
+            raise OracleSkip(counted_as_error=True) from None
+        except (InternalError, EngineCrash, EngineHang):
+            self._fired |= self.adapter.fired_fault_ids()
+            raise
+        self._q_ok += 1
+        self._fired |= self.adapter.fired_fault_ids()
+        if is_main_query and result.plan_fingerprint:
+            self._fingerprint = result.plan_fingerprint
+        return result
+
+    def report(self, description: str) -> TestReport:
+        return TestReport(
+            oracle=self.name,
+            kind="logic",
+            statements=[],
+            description=description,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Result comparison
+# ---------------------------------------------------------------------------
+
+
+def canonical(rows: list[tuple[SqlValue, ...]]) -> list[tuple[SqlValue, ...]]:
+    """Order-insensitive, float-tolerant canonical form of a result set.
+
+    The metamorphic relations compare result *multisets*: generated
+    queries carry no ORDER BY, so row order is not part of the contract.
+    Floats are rounded to absorb accumulation noise, mirroring the
+    paper's handling of floating-point false alarms (Section 4.1).
+    """
+    normalized = [
+        tuple(round(v, 9) if isinstance(v, float) else v for v in row)
+        for row in rows
+    ]
+    return sorted(normalized, key=row_sort_key)
+
+
+def rows_equal(a: list[tuple[SqlValue, ...]], b: list[tuple[SqlValue, ...]]) -> bool:
+    """Multiset equality of two result sets."""
+    if len(a) != len(b):
+        return False
+    return canonical(a) == canonical(b)

@@ -1,0 +1,15 @@
+"""Paper-style rendering of campaign results."""
+
+from repro.report.tables import (
+    render_detection_table,
+    render_efficiency_table,
+    render_maxdepth_series,
+    render_table1,
+)
+
+__all__ = [
+    "render_table1",
+    "render_detection_table",
+    "render_efficiency_table",
+    "render_maxdepth_series",
+]

@@ -1,0 +1,17 @@
+"""Campaign runner: drives oracles against adapters and collects the
+paper's evaluation metrics (tests, successful/unsuccessful queries, QPT,
+unique query plans, branch coverage, unique bugs)."""
+
+from repro.runner.campaign import Campaign, CampaignStats, run_campaign
+from repro.runner.detection import detects_fault, detection_matrix
+from repro.runner.reducer import reduce_statements, reduce_expression
+
+__all__ = [
+    "Campaign",
+    "CampaignStats",
+    "run_campaign",
+    "detects_fault",
+    "detection_matrix",
+    "reduce_statements",
+    "reduce_expression",
+]

@@ -1,0 +1,181 @@
+"""Test campaigns (paper Section 4 methodology).
+
+A campaign repeatedly (1) generates a random database state and (2) runs
+a batch of oracle tests against it -- the loop of Figure 1.  It collects
+the Table 3 metrics:
+
+* **tests** -- successfully executed test cases,
+* **successful / unsuccessful queries** -- queries that ran vs. raised
+  expected errors,
+* **QPT** -- successful queries per successful test,
+* **unique query plans** -- distinct fingerprints of each test's most
+  complex query,
+* **branch coverage** -- engine decision points exercised (MiniDB only),
+* **bug reports** with ground-truth fault attribution (MiniDB only).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+
+from repro.adapters.base import EngineAdapter
+from repro.errors import ReproError, SqlError
+from repro.generator.state_gen import StateGenerator
+from repro.oracles_base import Oracle, TestReport
+
+
+@dataclass
+class CampaignStats:
+    """Aggregated campaign results."""
+
+    oracle: str
+    tests: int = 0
+    skipped: int = 0
+    queries_ok: int = 0
+    queries_err: int = 0
+    states: int = 0
+    wall_seconds: float = 0.0
+    branch_coverage: float = 0.0
+    unique_plans: set[str] = field(default_factory=set)
+    reports: list[TestReport] = field(default_factory=list)
+
+    @property
+    def qpt(self) -> float:
+        """Queries per (successful) test -- paper Table 3."""
+        if self.tests == 0:
+            return 0.0
+        return self.queries_ok / self.tests
+
+    @property
+    def detected_fault_ids(self) -> frozenset[str]:
+        """Ground-truth: faults implicated in at least one report."""
+        found: set[str] = set()
+        for report in self.reports:
+            found |= report.fired_faults
+        return frozenset(found)
+
+    @property
+    def bug_reports_by_kind(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for report in self.reports:
+            out[report.kind] = out.get(report.kind, 0) + 1
+        return out
+
+    @property
+    def tests_per_second(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.tests / self.wall_seconds
+
+
+class Campaign:
+    """Reusable campaign driver."""
+
+    def __init__(
+        self,
+        oracle: Oracle,
+        adapter: EngineAdapter,
+        seed: int = 0,
+        tests_per_state: int = 25,
+        state_gen: StateGenerator | None = None,
+        max_reports: int = 1000,
+    ) -> None:
+        self.oracle = oracle
+        self.adapter = adapter
+        self.rng = random.Random(seed)
+        self.tests_per_state = tests_per_state
+        self.state_gen = state_gen or StateGenerator(
+            self.rng, strict_typing=adapter.strict_typing
+        )
+        self.max_reports = max_reports
+        self.stats = CampaignStats(oracle=oracle.name)
+
+    def run(
+        self, n_tests: int | None = None, seconds: float | None = None
+    ) -> CampaignStats:
+        """Run until *n_tests* successful tests or *seconds* elapse."""
+        if n_tests is None and seconds is None:
+            raise ValueError("specify n_tests and/or seconds")
+        engine = getattr(self.adapter, "engine", None)
+        if engine is not None:
+            engine.coverage.reset()
+        start = time.perf_counter()
+        while True:
+            if not self._new_state():
+                continue
+            for _ in range(self.tests_per_state):
+                if self._budget_done(n_tests, seconds, start):
+                    return self._finish(start)
+                self._one_test()
+            if self._budget_done(n_tests, seconds, start):
+                return self._finish(start)
+
+    # -- internals ---------------------------------------------------------------
+
+    def _budget_done(
+        self, n_tests: int | None, seconds: float | None, start: float
+    ) -> bool:
+        if n_tests is not None and self.stats.tests >= n_tests:
+            return True
+        if seconds is not None and time.perf_counter() - start >= seconds:
+            return True
+        return len(self.stats.reports) >= self.max_reports
+
+    def _new_state(self) -> bool:
+        try:
+            schema = self.state_gen.generate(self.adapter)
+        except SqlError:
+            return False
+        except ReproError:
+            # Injected fault fired during state generation; retry.
+            return False
+        if not schema.base_tables:
+            return False
+        self.stats.states += 1
+        self.oracle.prepare(self.adapter, schema, self.rng)
+        return True
+
+    def _one_test(self) -> None:
+        outcome = self.oracle.run_one()
+        self.stats.queries_ok += outcome.queries_ok
+        self.stats.queries_err += outcome.queries_err
+        if outcome.fingerprint:
+            self.stats.unique_plans.add(outcome.fingerprint)
+        if outcome.status == "ok":
+            self.stats.tests += 1
+        elif outcome.status == "bug":
+            self.stats.tests += 1
+            if outcome.report is not None:
+                self.stats.reports.append(outcome.report)
+        else:  # error / skip
+            self.stats.skipped += 1
+
+    def _finish(self, start: float) -> CampaignStats:
+        self.stats.wall_seconds = time.perf_counter() - start
+        engine = getattr(self.adapter, "engine", None)
+        if engine is not None:
+            self.stats.branch_coverage = engine.coverage.branch_coverage()
+        return self.stats
+
+
+def run_campaign(
+    oracle: Oracle,
+    adapter: EngineAdapter,
+    *,
+    n_tests: int | None = None,
+    seconds: float | None = None,
+    seed: int = 0,
+    tests_per_state: int = 25,
+    max_reports: int = 1000,
+) -> CampaignStats:
+    """Convenience wrapper around :class:`Campaign`."""
+    campaign = Campaign(
+        oracle,
+        adapter,
+        seed=seed,
+        tests_per_state=tests_per_state,
+        max_reports=max_reports,
+    )
+    return campaign.run(n_tests=n_tests, seconds=seconds)

@@ -1,0 +1,97 @@
+"""Bug-inducing test case reduction.
+
+The paper manually reduced test cases before reporting ("we manually
+reduced the bug-inducing test cases [39]", Section 4.1, citing Zeller &
+Hildebrandt's delta debugging).  This module automates both levels:
+
+* :func:`reduce_statements` -- ddmin over the statement list, keeping
+  the failure reproducible;
+* :func:`reduce_expression`  -- hierarchical simplification of an
+  expression AST, replacing subtrees with literals while the failure
+  persists.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.minidb import ast_nodes as A
+
+StatementsCheck = Callable[[list[str]], bool]
+ExprCheck = Callable[[A.Expr], bool]
+
+
+def reduce_statements(
+    statements: list[str], still_fails: StatementsCheck
+) -> list[str]:
+    """ddmin: a minimal sublist of *statements* for which *still_fails*
+    holds.  *still_fails* must be deterministic and must hold for the
+    full list."""
+    assert still_fails(statements), "the unreduced case must fail"
+    current = list(statements)
+    granularity = 2
+    while len(current) >= 2:
+        chunks = _split(current, granularity)
+        reduced = False
+        # Try removing each chunk.
+        for i in range(len(chunks)):
+            candidate = [s for j, c in enumerate(chunks) if j != i for s in c]
+            if candidate and still_fails(candidate):
+                current = candidate
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                break
+        if reduced:
+            continue
+        if granularity >= len(current):
+            break
+        granularity = min(granularity * 2, len(current))
+    return current
+
+
+def _split(items: list[str], n: int) -> list[list[str]]:
+    size = max(1, len(items) // n)
+    chunks = [items[i : i + size] for i in range(0, len(items), size)]
+    return chunks
+
+
+_LITERAL_CANDIDATES = (
+    A.Literal(None),
+    A.Literal(False),
+    A.Literal(True),
+    A.Literal(0),
+    A.Literal(1),
+)
+
+
+def reduce_expression(expr: A.Expr, still_fails: ExprCheck) -> A.Expr:
+    """Greedy hierarchical reduction: repeatedly try replacing subtrees
+    with simple literals (or hoisting a child over its parent) while the
+    failure persists."""
+    assert still_fails(expr), "the unreduced expression must fail"
+    changed = True
+    current = expr
+    while changed:
+        changed = False
+        for node in list(A.walk(current)):
+            if isinstance(node, A.Literal):
+                continue
+            # Try hoisting each child in place of the node.
+            for child in node.children():
+                candidate = A.replace_node(current, node, child)
+                if candidate is not current and still_fails(candidate):
+                    current = candidate
+                    changed = True
+                    break
+            if changed:
+                break
+            # Try literal replacement.
+            for lit in _LITERAL_CANDIDATES:
+                candidate = A.replace_node(current, node, lit)
+                if candidate is not current and still_fails(candidate):
+                    current = candidate
+                    changed = True
+                    break
+            if changed:
+                break
+    return current

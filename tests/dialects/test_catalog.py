@@ -1,0 +1,140 @@
+"""Fault catalog and dialect profile tests (paper Table 1 invariants)."""
+
+import pytest
+
+from repro.dialects import (
+    ALL_FAULTS,
+    FAULTS_BY_ID,
+    FAULTS_BY_PROFILE,
+    LOGIC_FAULTS,
+    PROFILES,
+    get_dialect,
+    make_engine,
+)
+from repro.dialects.catalog import table1_expected
+from repro.minidb.faults import BugType
+from repro.minidb.values import TypingMode
+
+
+class TestCatalogTotals:
+    """The catalog must equal paper Table 1 by construction."""
+
+    def test_total_counts(self):
+        assert len(ALL_FAULTS) == 45
+        assert len(LOGIC_FAULTS) == 24
+
+    def test_bug_type_totals(self):
+        by_type = {}
+        for f in ALL_FAULTS:
+            by_type[f.bug_type] = by_type.get(f.bug_type, 0) + 1
+        assert by_type[BugType.LOGIC] == 24
+        assert by_type[BugType.INTERNAL_ERROR] == 14
+        assert by_type[BugType.CRASH] == 2
+        assert by_type[BugType.HANG] == 5
+
+    @pytest.mark.parametrize(
+        "profile,logic,internal,crash,hang,fixed,verified",
+        [
+            ("sqlite", 6, 1, 0, 0, 7, 0),
+            ("mysql", 1, 1, 0, 0, 0, 2),
+            ("cockroachdb", 7, 4, 0, 2, 11, 2),
+            ("duckdb", 5, 2, 2, 3, 12, 0),
+            ("tidb", 5, 6, 0, 0, 3, 8),
+        ],
+    )
+    def test_per_profile_matches_table1(
+        self, profile, logic, internal, crash, hang, fixed, verified
+    ):
+        row = table1_expected()[profile]
+        assert row["logic"] == logic
+        assert row["internal error"] == internal
+        assert row["crash"] == crash
+        assert row["hang"] == hang
+        assert row["fixed"] == fixed
+        assert row["verified"] == verified
+
+    def test_fault_ids_unique(self):
+        assert len(FAULTS_BY_ID) == len(ALL_FAULTS)
+
+    def test_paper_listing_bugs_present(self):
+        # The concrete bugs the paper showcases each have a catalog entry.
+        for fid, listing in [
+            ("sqlite_agg_subquery_indexed", "Listing 1"),
+            ("tidb_insert_select_version", "Listing 6"),
+            ("cockroach_cte_case_not_between", "Listing 7"),
+            ("sqlite_join_on_exists", "Listing 8"),
+            ("cockroach_in_large_int", "Listing 9"),
+            ("tidb_in_list_where_select", "Listing 10"),
+        ]:
+            assert listing in FAULTS_BY_ID[fid].paper_ref
+
+
+class TestBugLatencyMetadata:
+    """Paper Section 4.2, bugs-introduction-times analysis."""
+
+    def test_six_logic_bugs_predate_2020(self):
+        early = [f for f in LOGIC_FAULTS if f.introduced_year < 2020]
+        assert len(early) >= 5
+
+    def test_most_logic_bugs_predate_2023(self):
+        before_2023 = [f for f in LOGIC_FAULTS if f.introduced_year < 2023]
+        assert len(before_2023) >= 18  # paper: 20 of 24
+
+    def test_longest_latency_is_the_mysql_bug(self):
+        oldest = min(LOGIC_FAULTS, key=lambda f: f.introduced_year)
+        assert oldest.profile == "mysql"
+        # Paper: 14 years latent at discovery (2023).
+        assert 2023 - oldest.introduced_year >= 14
+
+
+class TestDialectProfiles:
+    def test_five_profiles(self):
+        assert set(PROFILES) == {"sqlite", "mysql", "cockroachdb", "duckdb", "tidb"}
+
+    def test_typing_modes_match_paper(self):
+        # Paper Section 3.3: DuckDB and CockroachDB are strict.
+        assert get_dialect("duckdb").engine_profile.typing_mode is TypingMode.STRICT
+        assert (
+            get_dialect("cockroachdb").engine_profile.typing_mode
+            is TypingMode.STRICT
+        )
+        assert get_dialect("sqlite").engine_profile.typing_mode is TypingMode.RELAXED
+        assert get_dialect("mysql").engine_profile.typing_mode is TypingMode.RELAXED
+
+    def test_any_all_support_matches_paper(self):
+        # Paper Section 3.3: ANY/ALL not supported in SQLite and DuckDB.
+        assert not get_dialect("sqlite").engine_profile.supports_any_all
+        assert not get_dialect("duckdb").engine_profile.supports_any_all
+        assert get_dialect("mysql").engine_profile.supports_any_all
+        assert get_dialect("tidb").engine_profile.supports_any_all
+
+    def test_unknown_dialect_raises(self):
+        with pytest.raises(KeyError):
+            get_dialect("oracle23ai")
+
+    def test_make_engine_with_catalog_faults(self):
+        engine = make_engine("duckdb", with_catalog_faults=True)
+        assert len(engine.faults.faults) == len(FAULTS_BY_PROFILE["duckdb"])
+
+    def test_make_engine_clean_by_default(self):
+        assert make_engine("duckdb").faults.empty
+
+
+class TestTriggerHygiene:
+    def test_every_fault_has_known_effect(self):
+        from repro.minidb.faults import _VALUE_EFFECTS
+
+        for fault in ALL_FAULTS:
+            if fault.bug_type is BugType.LOGIC:
+                assert fault.effect in _VALUE_EFFECTS, fault.fault_id
+
+    def test_every_fault_has_description_and_sites(self):
+        for fault in ALL_FAULTS:
+            assert fault.description
+            assert fault.sites
+
+    def test_logic_faults_do_not_trigger_on_empty_features(self):
+        """No logic fault may fire unconditionally on every site visit
+        with empty features -- that would corrupt even trivial queries."""
+        for fault in LOGIC_FAULTS:
+            assert not fault.trigger({}), fault.fault_id

@@ -1,0 +1,214 @@
+"""Tests for the random state / expression / query generators."""
+
+import random
+
+import pytest
+
+from repro.adapters import MiniDBAdapter
+from repro.generator import (
+    ExprGenerator,
+    QueryGenerator,
+    StateGenerator,
+)
+from repro.generator.expr_gen import ScopeColumn
+from repro.minidb import ast_nodes as A
+from repro.minidb import Engine
+from repro.minidb.parser import parse_expression, parse_statement
+from repro.minidb.values import SqlType
+
+
+@pytest.fixture
+def prepared():
+    rng = random.Random(1234)
+    adapter = MiniDBAdapter(Engine())
+    schema = StateGenerator(rng).generate(adapter)
+    return rng, adapter, schema
+
+
+class TestStateGenerator:
+    def test_generates_non_empty_tables(self, prepared):
+        _, adapter, schema = prepared
+        assert schema.base_tables
+        for table in schema.base_tables:
+            rows = adapter.execute(f"SELECT COUNT(*) FROM {table.name}").rows
+            assert rows[0][0] >= 1, "paper Figure 1: tables must be non-empty"
+
+    def test_deterministic_for_seed(self):
+        def snapshot(seed):
+            adapter = MiniDBAdapter(Engine())
+            StateGenerator(random.Random(seed)).generate(adapter)
+            return {
+                name: list(t.rows)
+                for name, t in adapter.engine.database.tables.items()
+            }
+
+        assert snapshot(7) == snapshot(7)
+        assert snapshot(7) != snapshot(8)
+
+    def test_reset_clears_previous_state(self, prepared):
+        rng, adapter, _ = prepared
+        StateGenerator(rng, max_tables=1).generate(adapter)
+        names = set(adapter.engine.database.tables)
+        assert names == {"t0"}
+
+    def test_large_ints_reachable(self):
+        # BIGINT columns must sometimes hold > 2^31 values (Listing 9).
+        found = False
+        for seed in range(30):
+            adapter = MiniDBAdapter(Engine())
+            StateGenerator(random.Random(seed)).generate(adapter)
+            for t in adapter.engine.database.tables.values():
+                for row in t.rows:
+                    if any(isinstance(v, int) and abs(v) > 2**31 for v in row):
+                        found = True
+        assert found
+
+    def test_strict_mode_avoids_untyped_columns(self):
+        adapter = MiniDBAdapter(Engine())
+        StateGenerator(random.Random(5), strict_typing=True).generate(adapter)
+        for t in adapter.engine.database.tables.values():
+            assert all(c.declared_type is not None for c in t.columns)
+
+
+class TestExprGenerator:
+    def _gen(self, schema, **kw):
+        return ExprGenerator(random.Random(99), schema, **kw)
+
+    def test_predicates_parse_and_render(self, prepared):
+        _, _, schema = prepared
+        gen = self._gen(schema)
+        scope = [ScopeColumn("t0", c.name, c.sql_type) for c in schema.table("t0").columns]
+        for _ in range(50):
+            out = gen.predicate(scope)
+            sql = out.expr.to_sql()
+            # One reparse may normalize (e.g. -5 becomes Unary minus);
+            # the normalized form must be a fixed point.
+            normalized = parse_expression(sql).to_sql()
+            assert parse_expression(normalized).to_sql() == normalized
+
+    def test_outer_refs_are_subset_of_scope(self, prepared):
+        _, _, schema = prepared
+        gen = self._gen(schema)
+        scope = [ScopeColumn("t0", c.name, c.sql_type) for c in schema.table("t0").columns]
+        names = {(c.binding, c.name) for c in scope}
+        for _ in range(50):
+            out = gen.predicate(scope)
+            for ref in out.outer_refs:
+                assert (ref.binding, ref.name) in names
+
+    def test_independent_predicates_have_no_refs(self, prepared):
+        _, _, schema = prepared
+        gen = self._gen(schema)
+        for _ in range(30):
+            out = gen.independent_predicate()
+            assert out.independent
+
+    def test_no_subqueries_when_disabled(self, prepared):
+        _, _, schema = prepared
+        gen = self._gen(schema, allow_subqueries=False)
+        scope = [ScopeColumn("t0", c.name, c.sql_type) for c in schema.table("t0").columns]
+        for _ in range(60):
+            out = gen.predicate(scope)
+            for node in A.walk(out.expr):
+                assert not isinstance(
+                    node, (A.Exists, A.ScalarSubquery, A.InSubquery, A.Quantified)
+                )
+
+    def test_subquery_predicate_has_subquery_root(self, prepared):
+        _, _, schema = prepared
+        gen = self._gen(schema)
+        scope = [ScopeColumn("t0", c.name, c.sql_type) for c in schema.table("t0").columns]
+        for _ in range(30):
+            out = gen.subquery_predicate(scope)
+            has_subquery = any(
+                isinstance(n, (A.Exists, A.ScalarSubquery, A.InSubquery, A.Quantified))
+                for n in A.walk(out.expr)
+            )
+            assert has_subquery
+
+    def test_no_any_all_when_unsupported(self, prepared):
+        _, _, schema = prepared
+        gen = self._gen(schema, supports_any_all=False)
+        scope = [ScopeColumn("t0", c.name, c.sql_type) for c in schema.table("t0").columns]
+        for _ in range(80):
+            out = gen.predicate(scope)
+            for node in A.walk(out.expr):
+                assert not isinstance(node, A.Quantified)
+
+    def test_depth_limit_respected(self, prepared):
+        _, _, schema = prepared
+        gen = self._gen(schema, max_depth=1, allow_subqueries=False)
+        scope = [ScopeColumn("t0", c.name, c.sql_type) for c in schema.table("t0").columns]
+        for _ in range(30):
+            out = gen.predicate(scope)
+            depth = _expr_depth(out.expr)
+            assert depth <= 6  # leaf expansion adds a small constant
+
+    def test_no_fractional_float_literals(self, prepared):
+        # Paper Section 4.1: fractional floats cause folding false alarms.
+        _, _, schema = prepared
+        gen = self._gen(schema)
+        scope = [ScopeColumn("t0", c.name, c.sql_type) for c in schema.table("t0").columns]
+        for _ in range(100):
+            out = gen.predicate(scope)
+            for node in A.walk(out.expr):
+                if isinstance(node, A.Literal) and isinstance(node.value, float):
+                    assert node.value.is_integer()
+
+
+def _expr_depth(expr: A.Expr) -> int:
+    children = expr.children()
+    if not children:
+        return 1
+    return 1 + max(_expr_depth(c) for c in children)
+
+
+class TestQueryGenerator:
+    def _qgen(self, rng, schema, **kw):
+        expr_gen = ExprGenerator(rng, schema, allow_subqueries=False)
+        return QueryGenerator(rng, schema, expr_gen, **kw)
+
+    def test_skeleton_scope_matches_ref(self, prepared):
+        rng, _, schema = prepared
+        qgen = self._qgen(rng, schema)
+        for _ in range(30):
+            skeleton = qgen.from_skeleton()
+            assert skeleton.scope
+            assert len(skeleton.join_kinds) == len(skeleton.relations) - 1
+
+    def test_generated_queries_execute(self, prepared):
+        rng, adapter, schema = prepared
+        qgen = self._qgen(rng, schema)
+        from repro.errors import SqlError
+
+        executed = 0
+        for _ in range(40):
+            skeleton = qgen.from_skeleton()
+            query = qgen.count_query(skeleton, None)
+            try:
+                rows = adapter.execute(query.to_sql()).rows
+            except SqlError:
+                continue
+            assert len(rows) == 1
+            executed += 1
+        assert executed > 20
+
+    def test_join_free_ref_strips_on(self, prepared):
+        rng, _, schema = prepared
+        qgen = self._qgen(rng, schema, max_relations=2)
+        for _ in range(40):
+            skeleton = qgen.from_skeleton()
+            if skeleton.on_join is None:
+                continue
+            stripped = skeleton.join_free_ref()
+            sql = stripped.to_sql()
+            assert " ON " not in sql
+            assert "CROSS JOIN" in sql
+
+    def test_statements_roundtrip(self, prepared):
+        rng, _, schema = prepared
+        qgen = self._qgen(rng, schema)
+        for _ in range(30):
+            skeleton = qgen.from_skeleton()
+            query = qgen.star_query(skeleton, None)
+            assert parse_statement(query.to_sql()).to_sql() == query.to_sql()

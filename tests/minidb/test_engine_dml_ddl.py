@@ -1,0 +1,175 @@
+"""INSERT/UPDATE/DELETE and DDL semantics."""
+
+import pytest
+
+from repro.errors import CatalogError, SqlError, ValueError_
+from repro.minidb import Engine, EngineProfile, TypingMode
+
+
+@pytest.fixture
+def engine():
+    e = Engine()
+    e.execute("CREATE TABLE t (a INT, b TEXT)")
+    return e
+
+
+class TestInsert:
+    def test_insert_values(self, engine):
+        r = engine.execute("INSERT INTO t VALUES (1, 'x'), (2, 'y')")
+        assert r.rows_affected == 2
+        assert engine.execute("SELECT * FROM t").rows == [(1, "x"), (2, "y")]
+
+    def test_insert_column_subset_fills_null(self, engine):
+        engine.execute("INSERT INTO t (a) VALUES (5)")
+        assert engine.execute("SELECT * FROM t").rows == [(5, None)]
+
+    def test_insert_select(self, engine):
+        engine.execute("INSERT INTO t VALUES (1, 'x')")
+        engine.execute("CREATE TABLE t2 (a INT, b TEXT)")
+        r = engine.execute("INSERT INTO t2 SELECT * FROM t")
+        assert r.rows_affected == 1
+        assert engine.execute("SELECT * FROM t2").rows == [(1, "x")]
+
+    def test_insert_width_mismatch(self, engine):
+        with pytest.raises(ValueError_):
+            engine.execute("INSERT INTO t (a) VALUES (1, 2)")
+
+    def test_not_null_violation(self, engine):
+        engine.execute("CREATE TABLE nn (x INT NOT NULL)")
+        with pytest.raises(ValueError_):
+            engine.execute("INSERT INTO nn VALUES (NULL)")
+
+    def test_integer_affinity(self, engine):
+        engine.execute("INSERT INTO t (a) VALUES (2.0)")
+        value = engine.execute("SELECT a FROM t").rows[0][0]
+        assert value == 2 and isinstance(value, int)
+
+    def test_text_affinity(self, engine):
+        engine.execute("INSERT INTO t (b) VALUES (12)")
+        assert engine.execute("SELECT b FROM t").rows == [("12",)]
+
+    def test_insert_expression_values(self, engine):
+        engine.execute("INSERT INTO t (a) VALUES (1 + 2 * 3)")
+        assert engine.execute("SELECT a FROM t").rows == [(7,)]
+
+
+class TestUpdate:
+    def test_update_all(self, engine):
+        engine.execute("INSERT INTO t VALUES (1, 'x'), (2, 'y')")
+        r = engine.execute("UPDATE t SET a = a + 10")
+        assert r.rows_affected == 2
+        assert engine.execute("SELECT a FROM t").rows == [(11,), (12,)]
+
+    def test_update_where(self, engine):
+        engine.execute("INSERT INTO t VALUES (1, 'x'), (2, 'y')")
+        r = engine.execute("UPDATE t SET b = 'z' WHERE a = 2")
+        assert r.rows_affected == 1
+        assert engine.execute("SELECT b FROM t ORDER BY a").rows == [("x",), ("z",)]
+
+    def test_update_sees_old_values(self, engine):
+        engine.execute("INSERT INTO t VALUES (1, 'x')")
+        engine.execute("UPDATE t SET a = a + 1, b = a")
+        # Both assignments evaluate against the pre-update row.
+        assert engine.execute("SELECT a, b FROM t").rows == [(2, "1")]
+
+    def test_update_null_predicate_matches_nothing(self, engine):
+        engine.execute("INSERT INTO t VALUES (1, 'x')")
+        r = engine.execute("UPDATE t SET a = 0 WHERE NULL")
+        assert r.rows_affected == 0
+
+    def test_update_not_null_violation(self, engine):
+        engine.execute("CREATE TABLE nn (x INT NOT NULL)")
+        engine.execute("INSERT INTO nn VALUES (1)")
+        with pytest.raises(ValueError_):
+            engine.execute("UPDATE nn SET x = NULL")
+
+
+class TestDelete:
+    def test_delete_all(self, engine):
+        engine.execute("INSERT INTO t VALUES (1, 'x'), (2, 'y')")
+        r = engine.execute("DELETE FROM t")
+        assert r.rows_affected == 2
+        assert engine.execute("SELECT * FROM t").rows == []
+
+    def test_delete_where(self, engine):
+        engine.execute("INSERT INTO t VALUES (1, 'x'), (2, 'y')")
+        r = engine.execute("DELETE FROM t WHERE a = 1")
+        assert r.rows_affected == 1
+        assert engine.execute("SELECT a FROM t").rows == [(2,)]
+
+    def test_delete_with_subquery_predicate(self, engine):
+        engine.execute("INSERT INTO t VALUES (1, 'x'), (2, 'y')")
+        engine.execute("DELETE FROM t WHERE a = (SELECT MAX(a) FROM t)")
+        assert engine.execute("SELECT a FROM t").rows == [(1,)]
+
+
+class TestDdl:
+    def test_duplicate_table_rejected(self, engine):
+        with pytest.raises(CatalogError):
+            engine.execute("CREATE TABLE t (x INT)")
+
+    def test_if_not_exists(self, engine):
+        engine.execute("CREATE TABLE IF NOT EXISTS t (x INT)")  # no error
+
+    def test_duplicate_column_rejected(self, engine):
+        with pytest.raises(SqlError):
+            engine.execute("CREATE TABLE bad (x INT, x TEXT)")
+
+    def test_drop_table(self, engine):
+        engine.execute("DROP TABLE t")
+        with pytest.raises(CatalogError):
+            engine.execute("SELECT * FROM t")
+
+    def test_drop_missing_table(self, engine):
+        with pytest.raises(CatalogError):
+            engine.execute("DROP TABLE missing")
+        engine.execute("DROP TABLE IF EXISTS missing")  # tolerated
+
+    def test_drop_table_drops_its_indexes(self, engine):
+        engine.execute("CREATE INDEX ix ON t (a)")
+        engine.execute("DROP TABLE t")
+        engine.execute("CREATE TABLE t (a INT)")
+        engine.execute("CREATE INDEX ix ON t (a)")  # name free again
+
+    def test_create_index_unknown_column(self, engine):
+        with pytest.raises(SqlError):
+            engine.execute("CREATE INDEX ix ON t (nope)")
+
+    def test_create_index_unknown_table(self, engine):
+        with pytest.raises(CatalogError):
+            engine.execute("CREATE INDEX ix ON missing (a)")
+
+    def test_indexed_by_requires_matching_table(self, engine):
+        engine.execute("CREATE TABLE u (z INT)")
+        engine.execute("CREATE INDEX ixu ON u (z)")
+        with pytest.raises(CatalogError):
+            engine.execute("SELECT * FROM t INDEXED BY ixu")
+
+    def test_view_validates_at_creation(self, engine):
+        with pytest.raises(CatalogError):
+            engine.execute("CREATE VIEW v AS SELECT nothere FROM missing")
+
+    def test_view_column_count_mismatch(self, engine):
+        with pytest.raises(SqlError):
+            engine.execute("CREATE VIEW v (a, b) AS SELECT 1")
+
+    def test_drop_view(self, engine):
+        engine.execute("CREATE VIEW v AS SELECT 1")
+        engine.execute("DROP VIEW v")
+        with pytest.raises(CatalogError):
+            engine.execute("SELECT * FROM v")
+
+
+class TestStrictAffinity:
+    def test_strict_boolean_column(self):
+        e = Engine(EngineProfile(typing_mode=TypingMode.STRICT))
+        e.execute("CREATE TABLE t (f BOOL)")
+        e.execute("INSERT INTO t VALUES (TRUE)")
+        with pytest.raises(ValueError_):
+            e.execute("INSERT INTO t VALUES (3)")
+
+    def test_strict_integer_from_text_rejected(self):
+        e = Engine(EngineProfile(typing_mode=TypingMode.STRICT))
+        e.execute("CREATE TABLE t (a INT)")
+        with pytest.raises(ValueError_):
+            e.execute("INSERT INTO t VALUES ('abc')")

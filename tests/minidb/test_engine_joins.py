@@ -1,0 +1,126 @@
+"""JOIN semantics, including the outer-join/NULL interactions the paper's
+Listing 4 and Listing 8 bugs depend on."""
+
+import pytest
+
+from repro.minidb import Engine
+
+
+@pytest.fixture
+def engine():
+    e = Engine()
+    e.execute("CREATE TABLE a (x INT)")
+    e.execute("CREATE TABLE b (y INT)")
+    e.execute("INSERT INTO a VALUES (1), (2), (3)")
+    e.execute("INSERT INTO b VALUES (2), (3), (4)")
+    return e
+
+
+def rows(engine, sql):
+    return engine.execute(sql).rows
+
+
+class TestInnerAndCross:
+    def test_inner_join(self, engine):
+        got = rows(engine, "SELECT * FROM a INNER JOIN b ON a.x = b.y")
+        assert sorted(got) == [(2, 2), (3, 3)]
+
+    def test_cross_join_cardinality(self, engine):
+        got = rows(engine, "SELECT * FROM a CROSS JOIN b")
+        assert len(got) == 9
+
+    def test_comma_join_equals_cross(self, engine):
+        got = rows(engine, "SELECT * FROM a, b")
+        assert len(got) == 9
+
+    def test_inner_join_true_on(self, engine):
+        got = rows(engine, "SELECT * FROM a JOIN b ON TRUE")
+        assert len(got) == 9
+
+    def test_inner_join_false_on(self, engine):
+        assert rows(engine, "SELECT * FROM a JOIN b ON FALSE") == []
+
+    def test_inner_join_null_on_excludes(self, engine):
+        assert rows(engine, "SELECT * FROM a JOIN b ON NULL") == []
+
+
+class TestOuterJoins:
+    def test_left_join_null_extends(self, engine):
+        got = rows(engine, "SELECT * FROM a LEFT JOIN b ON a.x = b.y")
+        assert sorted(got, key=str) == sorted(
+            [(1, None), (2, 2), (3, 3)], key=str
+        )
+
+    def test_left_join_where_is_null(self, engine):
+        # Paper Listing 4: the anti-join pattern.
+        got = rows(
+            engine, "SELECT * FROM a LEFT JOIN b ON a.x = b.y WHERE b.y IS NULL"
+        )
+        assert got == [(1, None)]
+
+    def test_right_join(self, engine):
+        got = rows(engine, "SELECT * FROM a RIGHT JOIN b ON a.x = b.y")
+        assert sorted(got, key=str) == sorted(
+            [(2, 2), (3, 3), (None, 4)], key=str
+        )
+
+    def test_full_join(self, engine):
+        got = rows(engine, "SELECT * FROM a FULL OUTER JOIN b ON a.x = b.y")
+        assert len(got) == 4
+        assert (1, None) in got and (None, 4) in got
+
+    def test_full_join_false_on(self, engine):
+        got = rows(engine, "SELECT * FROM a FULL OUTER JOIN b ON FALSE")
+        assert len(got) == 6  # 3 left-extended + 3 right-extended
+
+    def test_left_join_multiple_matches(self, engine):
+        engine.execute("INSERT INTO b VALUES (2)")
+        got = rows(engine, "SELECT * FROM a LEFT JOIN b ON a.x = b.y WHERE a.x = 2")
+        assert got == [(2, 2), (2, 2)]
+
+
+class TestJoinOnSemantics:
+    def test_on_sees_both_sides(self, engine):
+        got = rows(engine, "SELECT * FROM a JOIN b ON a.x + 1 = b.y")
+        assert sorted(got) == [(1, 2), (2, 3), (3, 4)]
+
+    def test_on_with_exists_subquery(self, engine):
+        # Paper Listing 8 shape: EXISTS inside ON.
+        got = rows(
+            engine,
+            "SELECT * FROM a JOIN b ON EXISTS "
+            "(SELECT b.y FROM b WHERE FALSE)",
+        )
+        assert got == []
+
+    def test_cross_join_with_on_behaves_as_inner(self, engine):
+        # SQLite semantics (paper Listing 8 uses CROSS JOIN ... ON).
+        got = rows(engine, "SELECT * FROM a CROSS JOIN b ON a.x = b.y")
+        assert sorted(got) == [(2, 2), (3, 3)]
+
+    def test_three_way_join(self, engine):
+        engine.execute("CREATE TABLE c (z INT)")
+        engine.execute("INSERT INTO c VALUES (3)")
+        got = rows(
+            engine,
+            "SELECT * FROM a JOIN b ON a.x = b.y JOIN c ON b.y = c.z",
+        )
+        assert got == [(3, 3, 3)]
+
+    def test_join_with_view(self, engine):
+        engine.execute("CREATE VIEW v (y2) AS SELECT y * 2 FROM b")
+        got = rows(engine, "SELECT * FROM a JOIN v ON a.x * 2 = v.y2")
+        assert sorted(got) == [(2, 4), (3, 6)]
+
+    def test_join_aliases(self, engine):
+        got = rows(
+            engine,
+            "SELECT l.x, r.x FROM a AS l JOIN a AS r ON l.x < r.x WHERE l.x = 1",
+        )
+        assert sorted(got) == [(1, 2), (1, 3)]
+
+    def test_null_join_keys_never_match(self, engine):
+        engine.execute("INSERT INTO a VALUES (NULL)")
+        engine.execute("INSERT INTO b VALUES (NULL)")
+        got = rows(engine, "SELECT * FROM a JOIN b ON a.x = b.y")
+        assert sorted(got) == [(2, 2), (3, 3)]

@@ -1,0 +1,300 @@
+"""End-to-end SELECT semantics of the MiniDB engine."""
+
+import pytest
+
+from repro.errors import CatalogError, SqlError, ValueError_
+from repro.minidb import Engine, EngineProfile, TypingMode
+
+
+@pytest.fixture
+def engine():
+    e = Engine()
+    e.execute("CREATE TABLE t0 (c0 INT, c1 INT)")
+    e.execute("INSERT INTO t0 VALUES (1, 10), (2, 20), (3, NULL)")
+    return e
+
+
+def rows(engine, sql):
+    return engine.execute(sql).rows
+
+
+class TestProjection:
+    def test_star(self, engine):
+        assert rows(engine, "SELECT * FROM t0") == [(1, 10), (2, 20), (3, None)]
+
+    def test_column_subset(self, engine):
+        assert rows(engine, "SELECT c1 FROM t0") == [(10,), (20,), (None,)]
+
+    def test_expression(self, engine):
+        assert rows(engine, "SELECT c0 * 2 FROM t0") == [(2,), (4,), (6,)]
+
+    def test_alias_names(self, engine):
+        result = engine.execute("SELECT c0 AS renamed FROM t0")
+        assert result.columns == ["renamed"]
+
+    def test_table_star(self, engine):
+        engine.execute("CREATE TABLE t1 (x INT)")
+        engine.execute("INSERT INTO t1 VALUES (7)")
+        got = rows(engine, "SELECT t1.* FROM t0, t1")
+        assert got == [(7,), (7,), (7,)]
+
+    def test_select_without_from(self, engine):
+        assert rows(engine, "SELECT 1 + 2") == [(3,)]
+
+    def test_unknown_column_raises(self, engine):
+        with pytest.raises(CatalogError):
+            rows(engine, "SELECT nope FROM t0")
+
+    def test_unknown_table_raises(self, engine):
+        with pytest.raises(CatalogError):
+            rows(engine, "SELECT * FROM missing")
+
+
+class TestWhere:
+    def test_simple_filter(self, engine):
+        assert rows(engine, "SELECT c0 FROM t0 WHERE c0 > 1") == [(2,), (3,)]
+
+    def test_null_predicate_drops_row(self, engine):
+        # c1 IS NULL for row 3: comparison yields NULL, row excluded.
+        assert rows(engine, "SELECT c0 FROM t0 WHERE c1 > 0") == [(1,), (2,)]
+
+    def test_is_null(self, engine):
+        assert rows(engine, "SELECT c0 FROM t0 WHERE c1 IS NULL") == [(3,)]
+
+    def test_constant_true_where(self, engine):
+        assert len(rows(engine, "SELECT c0 FROM t0 WHERE 1")) == 3
+
+    def test_constant_false_where(self, engine):
+        assert rows(engine, "SELECT c0 FROM t0 WHERE 0") == []
+
+    def test_constant_null_where(self, engine):
+        assert rows(engine, "SELECT c0 FROM t0 WHERE NULL") == []
+
+    def test_between(self, engine):
+        assert rows(engine, "SELECT c0 FROM t0 WHERE c0 BETWEEN 2 AND 3") == [
+            (2,),
+            (3,),
+        ]
+
+    def test_not_between(self, engine):
+        assert rows(engine, "SELECT c0 FROM t0 WHERE c0 NOT BETWEEN 2 AND 3") == [(1,)]
+
+    def test_in_list(self, engine):
+        assert rows(engine, "SELECT c0 FROM t0 WHERE c0 IN (1, 3, 99)") == [(1,), (3,)]
+
+    def test_not_in_list_with_null_matches_nothing(self, engine):
+        # NULL in the list makes NOT IN yield NULL for non-matching rows.
+        assert rows(engine, "SELECT c0 FROM t0 WHERE c0 NOT IN (1, NULL)") == []
+
+    def test_like(self, engine):
+        engine.execute("CREATE TABLE s (v TEXT)")
+        engine.execute("INSERT INTO s VALUES ('apple'), ('banana')")
+        assert rows(engine, "SELECT v FROM s WHERE v LIKE 'a%'") == [("apple",)]
+
+
+class TestAggregates:
+    def test_count_star(self, engine):
+        assert rows(engine, "SELECT COUNT(*) FROM t0") == [(3,)]
+
+    def test_count_skips_nulls(self, engine):
+        assert rows(engine, "SELECT COUNT(c1) FROM t0") == [(2,)]
+
+    def test_sum_avg(self, engine):
+        assert rows(engine, "SELECT SUM(c1), AVG(c1) FROM t0") == [(30, 15.0)]
+
+    def test_min_max(self, engine):
+        assert rows(engine, "SELECT MIN(c0), MAX(c0) FROM t0") == [(1, 3)]
+
+    def test_aggregate_over_empty_is_null(self, engine):
+        assert rows(engine, "SELECT SUM(c0), COUNT(*) FROM t0 WHERE 0") == [(None, 0)]
+
+    def test_count_distinct(self, engine):
+        engine.execute("INSERT INTO t0 VALUES (1, 10)")
+        assert rows(engine, "SELECT COUNT(DISTINCT c0) FROM t0") == [(3,)]
+
+    def test_group_by(self, engine):
+        engine.execute("INSERT INTO t0 VALUES (1, 99)")
+        got = rows(engine, "SELECT c0, COUNT(*) FROM t0 GROUP BY c0 ORDER BY c0")
+        assert got == [(1, 2), (2, 1), (3, 1)]
+
+    def test_group_by_expression(self, engine):
+        got = rows(
+            engine, "SELECT COUNT(*) FROM t0 GROUP BY c0 > 1 ORDER BY 1"
+        )
+        assert sorted(got) == [(1,), (2,)]
+
+    def test_having(self, engine):
+        engine.execute("INSERT INTO t0 VALUES (1, 99)")
+        got = rows(engine, "SELECT c0 FROM t0 GROUP BY c0 HAVING COUNT(*) > 1")
+        assert got == [(1,)]
+
+    def test_having_without_group_by(self, engine):
+        assert rows(engine, "SELECT COUNT(*) FROM t0 HAVING COUNT(*) > 10") == []
+
+    def test_aggregate_in_where_rejected(self, engine):
+        with pytest.raises(ValueError_):
+            rows(engine, "SELECT c0 FROM t0 WHERE COUNT(*) > 1")
+
+    def test_scalar_min_max_two_args(self, engine):
+        assert rows(engine, "SELECT MAX(1, 2), MIN(3, 1)") == [(2, 1)]
+
+    def test_group_by_groups_nulls_together(self, engine):
+        engine.execute("INSERT INTO t0 VALUES (4, NULL)")
+        got = rows(engine, "SELECT COUNT(*) FROM t0 GROUP BY c1 IS NULL ORDER BY 1")
+        assert got == [(2,), (2,)]
+
+
+class TestDistinctOrderLimit:
+    def test_distinct(self, engine):
+        engine.execute("INSERT INTO t0 VALUES (1, 10)")
+        assert rows(engine, "SELECT DISTINCT c0 FROM t0") == [(1,), (2,), (3,)]
+
+    def test_distinct_treats_nulls_equal(self, engine):
+        engine.execute("INSERT INTO t0 VALUES (9, NULL)")
+        got = rows(engine, "SELECT DISTINCT c1 IS NULL FROM t0")
+        assert sorted(got) == [(False,), (True,)]
+
+    def test_order_by_column(self, engine):
+        assert rows(engine, "SELECT c0 FROM t0 ORDER BY c0 DESC") == [(3,), (2,), (1,)]
+
+    def test_order_by_position(self, engine):
+        assert rows(engine, "SELECT c0 FROM t0 ORDER BY 1 DESC") == [(3,), (2,), (1,)]
+
+    def test_order_by_expression(self, engine):
+        assert rows(engine, "SELECT c0 FROM t0 ORDER BY -c0") == [(3,), (2,), (1,)]
+
+    def test_order_by_nulls_first(self, engine):
+        got = rows(engine, "SELECT c1 FROM t0 ORDER BY c1")
+        assert got[0] == (None,)
+
+    def test_order_by_position_out_of_range(self, engine):
+        with pytest.raises(ValueError_):
+            rows(engine, "SELECT c0 FROM t0 ORDER BY 7")
+
+    def test_limit(self, engine):
+        assert rows(engine, "SELECT c0 FROM t0 ORDER BY c0 LIMIT 2") == [(1,), (2,)]
+
+    def test_limit_offset(self, engine):
+        assert rows(engine, "SELECT c0 FROM t0 ORDER BY c0 LIMIT 2 OFFSET 1") == [
+            (2,),
+            (3,),
+        ]
+
+    def test_negative_limit_means_all(self, engine):
+        assert len(rows(engine, "SELECT c0 FROM t0 LIMIT -1")) == 3
+
+
+class TestSetOps:
+    def test_union_dedupes(self, engine):
+        assert rows(engine, "SELECT 1 UNION SELECT 1 UNION SELECT 2") == [(1,), (2,)]
+
+    def test_union_all_keeps(self, engine):
+        assert rows(engine, "SELECT 1 UNION ALL SELECT 1") == [(1,), (1,)]
+
+    def test_intersect(self, engine):
+        got = rows(engine, "SELECT c0 FROM t0 INTERSECT SELECT 2")
+        assert got == [(2,)]
+
+    def test_except(self, engine):
+        got = rows(engine, "SELECT c0 FROM t0 EXCEPT SELECT 2")
+        assert sorted(got) == [(1,), (3,)]
+
+    def test_mismatched_width_rejected(self, engine):
+        with pytest.raises(SqlError):
+            rows(engine, "SELECT 1, 2 UNION SELECT 3")
+
+    def test_union_then_order(self, engine):
+        got = rows(engine, "SELECT 2 UNION SELECT 1 ORDER BY 1")
+        assert got == [(1,), (2,)]
+
+
+class TestViewsAndCtes:
+    def test_view_basic(self, engine):
+        engine.execute("CREATE VIEW v0 (a) AS SELECT c0 FROM t0 WHERE c0 > 1")
+        assert rows(engine, "SELECT a FROM v0") == [(2,), (3,)]
+
+    def test_view_with_aggregate(self, engine):
+        engine.execute("CREATE VIEW v1 (m) AS SELECT MAX(c0) FROM t0")
+        assert rows(engine, "SELECT m FROM v1") == [(3,)]
+
+    def test_view_alias(self, engine):
+        engine.execute("CREATE VIEW v0 (a) AS SELECT c0 FROM t0")
+        assert rows(engine, "SELECT z.a FROM v0 AS z WHERE z.a = 1") == [(1,)]
+
+    def test_cte(self, engine):
+        got = rows(
+            engine,
+            "WITH big(v) AS (SELECT c0 FROM t0 WHERE c0 >= 2) "
+            "SELECT COUNT(*) FROM big",
+        )
+        assert got == [(2,)]
+
+    def test_cte_from_values(self, engine):
+        got = rows(
+            engine, "WITH x(a, b) AS (VALUES (1, 2), (3, 4)) SELECT b FROM x"
+        )
+        assert got == [(2,), (4,)]
+
+    def test_chained_ctes(self, engine):
+        got = rows(
+            engine,
+            "WITH a(x) AS (SELECT 1), b(y) AS (SELECT x + 1 FROM a) "
+            "SELECT y FROM b",
+        )
+        assert got == [(2,)]
+
+    def test_derived_table(self, engine):
+        got = rows(engine, "SELECT d.v FROM (SELECT c0 AS v FROM t0) AS d WHERE d.v = 2")
+        assert got == [(2,)]
+
+    def test_values_table(self, engine):
+        got = rows(engine, "SELECT a + b FROM (VALUES (1, 2), (10, 20)) AS v(a, b)")
+        assert got == [(3,), (30,)]
+
+
+class TestStrictProfile:
+    def test_strict_rejects_numeric_predicate(self):
+        e = Engine(EngineProfile(name="strict", typing_mode=TypingMode.STRICT))
+        e.execute("CREATE TABLE t (c INT)")
+        e.execute("INSERT INTO t VALUES (1)")
+        from repro.errors import TypeError_
+
+        with pytest.raises(TypeError_):
+            e.execute("SELECT * FROM t WHERE c")
+
+    def test_strict_accepts_boolean_predicate(self):
+        e = Engine(EngineProfile(name="strict", typing_mode=TypingMode.STRICT))
+        e.execute("CREATE TABLE t (c INT)")
+        e.execute("INSERT INTO t VALUES (1)")
+        assert e.execute("SELECT * FROM t WHERE c = 1").rows == [(1,)]
+
+    def test_any_all_can_be_disabled(self):
+        from repro.errors import UnsupportedError
+
+        e = Engine(EngineProfile(name="no-any", supports_any_all=False))
+        with pytest.raises(UnsupportedError):
+            e.execute("SELECT 1 = ANY (SELECT 1)")
+
+
+class TestPlanFingerprints:
+    def test_same_shape_same_fingerprint(self, engine):
+        a = engine.execute("SELECT c0 FROM t0 WHERE c0 > 1").plan_fingerprint
+        b = engine.execute("SELECT c1 FROM t0 WHERE c1 > 99").plan_fingerprint
+        assert a == b  # literals and column picks do not change the plan
+
+    def test_subquery_changes_fingerprint(self, engine):
+        a = engine.execute("SELECT c0 FROM t0 WHERE c0 > 1").plan_fingerprint
+        b = engine.execute(
+            "SELECT c0 FROM t0 WHERE c0 > (SELECT MAX(c1) FROM t0)"
+        ).plan_fingerprint
+        assert a != b
+
+    def test_index_path_changes_fingerprint(self, engine):
+        a = engine.execute("SELECT c0 FROM t0 WHERE c0 > 1").plan_fingerprint
+        engine.execute("CREATE INDEX ix ON t0 (c0)")
+        b = engine.execute("SELECT c0 FROM t0 WHERE c0 > 1").plan_fingerprint
+        assert a != b and "ix" in b
+
+    def test_constant_false_where_has_distinct_plan(self, engine):
+        fp = engine.execute("SELECT c0 FROM t0 WHERE 0").plan_fingerprint
+        assert "W=FALSE" in fp

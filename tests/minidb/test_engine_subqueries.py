@@ -1,0 +1,187 @@
+"""Subquery semantics: scalar, EXISTS, IN, quantified, correlated."""
+
+import pytest
+
+from repro.errors import ValueError_
+from repro.minidb import Engine, EngineProfile
+
+
+@pytest.fixture
+def engine():
+    e = Engine()
+    e.execute("CREATE TABLE t (c INT)")
+    e.execute("INSERT INTO t VALUES (1), (2), (3)")
+    e.execute("CREATE TABLE s (ID INT, score INT, classID INT)")
+    e.execute("INSERT INTO s VALUES (0, 90, 1), (1, 80, 1), (2, 83, 2)")
+    return e
+
+
+def rows(engine, sql):
+    return engine.execute(sql).rows
+
+
+class TestScalarSubqueries:
+    def test_aggregate_scalar(self, engine):
+        assert rows(engine, "SELECT (SELECT MAX(c) FROM t)") == [(3,)]
+
+    def test_empty_result_is_null(self, engine):
+        assert rows(engine, "SELECT (SELECT c FROM t WHERE FALSE)") == [(None,)]
+
+    def test_multi_row_takes_first_in_relaxed_default(self):
+        e = Engine(EngineProfile(scalar_subquery_multi_row="first"))
+        e.execute("CREATE TABLE t (c INT)")
+        e.execute("INSERT INTO t VALUES (7), (8)")
+        assert e.execute("SELECT (SELECT c FROM t)").rows == [(7,)]
+
+    def test_multi_row_errors_in_mysql_like(self):
+        # Paper Listing 5: "Subquery returns more than 1 row".
+        e = Engine(EngineProfile(scalar_subquery_multi_row="error"))
+        e.execute("CREATE TABLE t (c INT)")
+        e.execute("INSERT INTO t VALUES (7), (8)")
+        with pytest.raises(ValueError_):
+            e.execute("SELECT (SELECT c FROM t)")
+
+    def test_multi_column_scalar_rejected(self, engine):
+        # Paper Listing 5: "Operand should contain 1 column(s)".
+        with pytest.raises(ValueError_):
+            rows(engine, "SELECT (SELECT c, c FROM t WHERE c = 2)")
+
+    def test_in_where(self, engine):
+        got = rows(engine, "SELECT c FROM t WHERE c = (SELECT MIN(c) FROM t)")
+        assert got == [(1,)]
+
+
+class TestExists:
+    def test_exists_true(self, engine):
+        assert rows(engine, "SELECT EXISTS (SELECT c FROM t)") == [(True,)]
+
+    def test_exists_false(self, engine):
+        assert rows(engine, "SELECT EXISTS (SELECT c FROM t WHERE FALSE)") == [
+            (False,)
+        ]
+
+    def test_not_exists(self, engine):
+        got = rows(engine, "SELECT c FROM t WHERE NOT EXISTS (SELECT 1 WHERE FALSE)")
+        assert len(got) == 3
+
+    def test_correlated_exists(self, engine):
+        got = rows(
+            engine,
+            "SELECT x.c FROM t AS x WHERE EXISTS "
+            "(SELECT y.c FROM t AS y WHERE y.c > x.c)",
+        )
+        assert got == [(1,), (2,)]
+
+
+class TestInSubquery:
+    def test_in(self, engine):
+        got = rows(engine, "SELECT c FROM t WHERE c IN (SELECT c FROM t WHERE c > 1)")
+        assert got == [(2,), (3,)]
+
+    def test_not_in(self, engine):
+        got = rows(
+            engine, "SELECT c FROM t WHERE c NOT IN (SELECT c FROM t WHERE c > 1)"
+        )
+        assert got == [(1,)]
+
+    def test_not_in_with_null_in_subquery(self, engine):
+        engine.execute("INSERT INTO t VALUES (NULL)")
+        got = rows(engine, "SELECT c FROM t WHERE c NOT IN (SELECT c FROM t)")
+        assert got == []  # NULL in the set poisons NOT IN
+
+    def test_in_empty_subquery(self, engine):
+        got = rows(engine, "SELECT c FROM t WHERE c IN (SELECT c FROM t WHERE FALSE)")
+        assert got == []
+
+
+class TestQuantified:
+    def test_any_true(self, engine):
+        assert rows(engine, "SELECT 2 = ANY (SELECT c FROM t)") == [(True,)]
+
+    def test_any_false(self, engine):
+        assert rows(engine, "SELECT 9 = ANY (SELECT c FROM t)") == [(False,)]
+
+    def test_all_true(self, engine):
+        assert rows(engine, "SELECT 0 < ALL (SELECT c FROM t)") == [(True,)]
+
+    def test_all_false(self, engine):
+        assert rows(engine, "SELECT 2 < ALL (SELECT c FROM t)") == [(False,)]
+
+    def test_any_over_empty_is_false(self, engine):
+        got = rows(engine, "SELECT 1 = ANY (SELECT c FROM t WHERE FALSE)")
+        assert got == [(False,)]
+
+    def test_all_over_empty_is_true(self, engine):
+        got = rows(engine, "SELECT 1 > ALL (SELECT c FROM t WHERE FALSE)")
+        assert got == [(True,)]
+
+    def test_any_with_null_operand(self, engine):
+        got = rows(engine, "SELECT NULL = ANY (SELECT c FROM t)")
+        assert got == [(None,)]
+
+    def test_some_is_any(self, engine):
+        assert rows(engine, "SELECT 2 = SOME (SELECT c FROM t)") == [(True,)]
+
+    def test_any_over_union_chain(self, engine):
+        # The folded form CODDTest substitutes (paper Section 3.3).
+        got = rows(
+            engine, "SELECT 2 = ANY (SELECT 1 UNION ALL SELECT 2 UNION ALL SELECT 3)"
+        )
+        assert got == [(True,)]
+
+
+class TestCorrelated:
+    def test_listing2_average_by_class(self, engine):
+        got = rows(
+            engine,
+            "SELECT x.ID FROM s AS x WHERE x.score > "
+            "(SELECT AVG(y.score) FROM s AS y WHERE x.classID = y.classID)",
+        )
+        assert got == [(0,)]
+
+    def test_correlated_in_fetch_clause(self, engine):
+        # The auxiliary-query shape for dependent expressions (Listing 2 A).
+        got = rows(
+            engine,
+            "SELECT x.classID, (SELECT AVG(y.score) FROM s AS y "
+            "WHERE x.classID = y.classID) FROM s AS x",
+        )
+        assert got == [(1, 85.0), (1, 85.0), (2, 83.0)]
+
+    def test_correlated_runs_per_row(self, engine):
+        got = rows(
+            engine,
+            "SELECT (SELECT COUNT(*) FROM t AS y WHERE y.c <= x.c) FROM t AS x",
+        )
+        assert got == [(1,), (2,), (3,)]
+
+    def test_uncorrelated_subquery_cached_result_consistent(self, engine):
+        # The uncorrelated-subquery cache must not change results.
+        got = rows(
+            engine,
+            "SELECT c, (SELECT MAX(c) FROM t) FROM t",
+        )
+        assert got == [(1, 3), (2, 3), (3, 3)]
+
+    def test_correlation_detection(self, engine):
+        from repro.minidb.parser import parse_statement
+
+        stmt = parse_statement(
+            "SELECT x.c FROM t AS x WHERE EXISTS "
+            "(SELECT y.c FROM t AS y WHERE y.c = x.c)"
+        )
+        sub = stmt.where.query
+        assert engine.select_is_correlated(sub)
+        stmt2 = parse_statement(
+            "SELECT c FROM t WHERE EXISTS (SELECT y.c FROM t AS y)"
+        )
+        assert not engine.select_is_correlated(stmt2.where.query)
+
+    def test_subquery_with_group_by_first_row(self):
+        # Listing-1 shape: aggregate subquery with GROUP BY in a
+        # first-row dialect.
+        e = Engine(EngineProfile(scalar_subquery_multi_row="first"))
+        e.execute("CREATE TABLE t (c INT)")
+        e.execute("INSERT INTO t VALUES (1), (2)")
+        got = e.execute("SELECT (SELECT COUNT(c) FROM t GROUP BY 1 > c)").rows
+        assert len(got) == 1

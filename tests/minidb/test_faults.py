@@ -1,0 +1,207 @@
+"""Fault-injection framework tests."""
+
+import pytest
+
+from repro.errors import EngineCrash, EngineHang, InternalError
+from repro.minidb import Engine
+from repro.minidb.faults import (
+    BugStatus,
+    BugType,
+    Fault,
+    FaultInjector,
+    all_of,
+    always,
+    any_of,
+    expr_features,
+    feature_is,
+    feature_true,
+)
+from repro.minidb.parser import parse_expression
+
+
+def make_fault(**overrides):
+    defaults = dict(
+        fault_id="f1",
+        profile="sqlite",
+        bug_type=BugType.LOGIC,
+        status=BugStatus.FIXED,
+        description="test fault",
+        sites=frozenset({"where_result"}),
+        trigger=always,
+        effect="force_true",
+    )
+    defaults.update(overrides)
+    return Fault(**defaults)
+
+
+class TestFaultMechanics:
+    def test_effect_applies_at_matching_site(self):
+        injector = FaultInjector([make_fault()])
+        assert injector.fire("where_result", {}, False) is True
+        assert "f1" in injector.fired
+
+    def test_no_effect_at_other_sites(self):
+        injector = FaultInjector([make_fault()])
+        assert injector.fire("having_result", {}, False) is False
+        assert not injector.fired
+
+    def test_trigger_features_gate_effect(self):
+        fault = make_fault(trigger=feature_is(statement="SELECT"))
+        injector = FaultInjector([fault])
+        assert injector.fire("where_result", {"statement": "UPDATE"}, False) is False
+        assert injector.fire("where_result", {"statement": "SELECT"}, False) is True
+
+    def test_reset_fired(self):
+        injector = FaultInjector([make_fault()])
+        injector.fire("where_result", {}, None)
+        injector.reset_fired()
+        assert not injector.fired
+
+    def test_internal_error_effect(self):
+        fault = make_fault(bug_type=BugType.INTERNAL_ERROR)
+        injector = FaultInjector([fault])
+        with pytest.raises(InternalError):
+            injector.fire("where_result", {}, True)
+        assert "f1" in injector.fired  # attribution recorded before raising
+
+    def test_crash_effect(self):
+        injector = FaultInjector([make_fault(bug_type=BugType.CRASH)])
+        with pytest.raises(EngineCrash):
+            injector.fire("where_result", {}, True)
+
+    def test_hang_effect(self):
+        injector = FaultInjector([make_fault(bug_type=BugType.HANG)])
+        with pytest.raises(EngineHang):
+            injector.fire("where_result", {}, True)
+
+    def test_multiple_faults_stack(self):
+        f1 = make_fault(fault_id="a", effect="force_true")
+        f2 = make_fault(fault_id="b", effect="invert")
+        injector = FaultInjector([f1, f2])
+        assert injector.fire("where_result", {}, None) is False
+        assert injector.fired == {"a", "b"}
+
+    def test_broken_trigger_is_ignored(self):
+        def bad_trigger(features):
+            raise RuntimeError("boom")
+
+        injector = FaultInjector([make_fault(trigger=bad_trigger)])
+        assert injector.fire("where_result", {}, False) is False
+
+
+class TestEffects:
+    @pytest.mark.parametrize(
+        "effect,value,expected",
+        [
+            ("force_true", False, True),
+            ("force_false", True, False),
+            ("force_null", True, None),
+            ("invert", True, False),
+            ("invert", None, None),
+            ("null_as_true", None, True),
+            ("null_as_true", False, False),
+            ("null_as_false", None, False),
+            ("zero", 17, 0),
+            ("off_by_one", 5, 6),
+            ("negate_number", 5, -5),
+            ("negate_number", "x", "x"),
+            ("stringify", 5, "5"),
+            ("empty_rows", [1, 2], []),
+            ("drop_first_row", [1, 2], [2]),
+            ("identity", "same", "same"),
+        ],
+    )
+    def test_value_effects(self, effect, value, expected):
+        fault = make_fault(effect=effect)
+        assert fault.apply_effect(value) == expected
+
+
+class TestTriggerCombinators:
+    def test_feature_true(self):
+        trig = feature_true("a", "b")
+        assert trig({"a": 1, "b": True})
+        assert not trig({"a": 1, "b": 0})
+
+    def test_all_of(self):
+        trig = all_of(feature_true("a"), feature_is(x=1))
+        assert trig({"a": True, "x": 1})
+        assert not trig({"a": True, "x": 2})
+
+    def test_any_of(self):
+        trig = any_of(feature_true("a"), feature_true("b"))
+        assert trig({"a": True})
+        assert trig({"b": True})
+        assert not trig({})
+
+
+class TestExprFeatures:
+    def test_constant_flag(self):
+        assert expr_features(parse_expression("1 + 2"))["is_constant"]
+        assert not expr_features(parse_expression("c0 + 1"))["is_constant"]
+
+    def test_subquery_flags(self):
+        f = expr_features(parse_expression("EXISTS (SELECT 1)"))
+        assert f["has_subquery"] and f["has_exists"]
+
+    def test_agg_subquery_flag(self):
+        f = expr_features(
+            parse_expression("(SELECT COUNT(x) FROM t GROUP BY y) > 0")
+        )
+        assert f["has_agg_subquery"]
+        assert f["has_group_by_subquery"]
+
+    def test_correlation_heuristic(self):
+        f = expr_features(
+            parse_expression("EXISTS (SELECT y.c FROM t AS y WHERE x.c = y.c)")
+        )
+        assert f["has_correlated_subquery"]
+
+    def test_in_list_flags(self):
+        f = expr_features(parse_expression("c IN (1, 2, 8628276060272066657)"))
+        assert f["has_in_list"]
+        assert f["in_list_size"] == 3
+        assert f["has_large_int"]
+
+    def test_not_and_concat_flags(self):
+        f = expr_features(parse_expression("NOT (a || b = 'x')"))
+        assert f["has_not"] and f["has_concat"]
+
+    def test_subquery_no_from(self):
+        f = expr_features(parse_expression("c = ANY (SELECT 1 UNION ALL SELECT 2)"))
+        assert f["subquery_no_from"]
+        f2 = expr_features(parse_expression("c = ANY (SELECT c FROM t)"))
+        assert not f2["subquery_no_from"]
+
+    def test_depth_grows_with_nesting(self):
+        shallow = expr_features(parse_expression("a > 1"))
+        deep = expr_features(parse_expression("((a + 1) * 2 - 3) > (1 + 2 + 3)"))
+        assert deep["depth"] > shallow["depth"]
+
+
+class TestEndToEndInjection:
+    def test_where_fault_changes_select_only(self):
+        fault = make_fault(
+            sites=frozenset({"where_result"}),
+            trigger=feature_is(statement="SELECT"),
+            effect="force_false",
+        )
+        e = Engine(faults=[fault])
+        e.execute("CREATE TABLE t (c INT)")
+        e.execute("INSERT INTO t VALUES (1)")
+        assert e.execute("SELECT c FROM t WHERE c = 1").rows == []
+        # UPDATE path uses a different site and stays correct.
+        assert e.execute("UPDATE t SET c = 2 WHERE c = 1").rows_affected == 1
+
+    def test_fault_fires_only_in_matching_context(self):
+        fault = make_fault(
+            sites=frozenset({"in_list_result"}),
+            trigger=feature_is(clause="where"),
+            effect="force_false",
+        )
+        e = Engine(faults=[fault])
+        e.execute("CREATE TABLE t (c INT)")
+        e.execute("INSERT INTO t VALUES (1)")
+        # Fires in WHERE ...
+        assert e.execute("SELECT c FROM t WHERE c IN (1)").rows == []
+        # ... but not in the fetch clause (NoREC's reference position).
+        assert e.execute("SELECT c IN (1) FROM t").rows == [(True,)]

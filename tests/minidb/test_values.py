@@ -1,0 +1,299 @@
+"""Unit tests for the SQL value model and three-valued logic."""
+
+import math
+
+import pytest
+
+from repro.errors import TypeError_, ValueError_
+from repro.minidb import values as V
+from repro.minidb.values import SqlType, TypingMode
+
+RELAXED = TypingMode.RELAXED
+STRICT = TypingMode.STRICT
+
+
+class TestTypeOf:
+    def test_null(self):
+        assert V.type_of(None) is SqlType.NULL
+
+    def test_boolean(self):
+        assert V.type_of(True) is SqlType.BOOLEAN
+        assert V.type_of(False) is SqlType.BOOLEAN
+
+    def test_integer(self):
+        assert V.type_of(42) is SqlType.INTEGER
+
+    def test_real(self):
+        assert V.type_of(1.5) is SqlType.REAL
+
+    def test_text(self):
+        assert V.type_of("abc") is SqlType.TEXT
+
+
+class TestSqlLiteral:
+    """Literal rendering must round-trip through the parser -- the folded
+    queries of CODDTest depend on it."""
+
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (None, "NULL"),
+            (True, "TRUE"),
+            (False, "FALSE"),
+            (0, "0"),
+            (-7, "-7"),
+            (1.5, "1.5"),
+            ("abc", "'abc'"),
+            ("it's", "'it''s'"),
+            ("", "''"),
+        ],
+    )
+    def test_render(self, value, expected):
+        assert V.sql_literal(value) == expected
+
+    def test_roundtrip_through_parser(self):
+        from repro.minidb.parser import parse_expression
+
+        for value in [None, True, False, 0, 1, -3, 2.5, "x'y", ""]:
+            sql = V.sql_literal(value)
+            expr = parse_expression(sql)
+            # Unary minus wraps negative numbers.
+            from repro.minidb.evaluator import EvalCtx, evaluate
+            from repro.minidb.engine import Engine
+
+            got = evaluate(expr, EvalCtx(engine=Engine()))
+            assert got == value or (got is value)
+
+
+class TestTernaryLogic:
+    def test_and_truth_table(self):
+        assert V.and3(True, True) is True
+        assert V.and3(True, False) is False
+        assert V.and3(False, None) is False
+        assert V.and3(None, False) is False
+        assert V.and3(True, None) is None
+        assert V.and3(None, None) is None
+
+    def test_or_truth_table(self):
+        assert V.or3(False, False) is False
+        assert V.or3(True, None) is True
+        assert V.or3(None, True) is True
+        assert V.or3(False, None) is None
+        assert V.or3(None, None) is None
+
+    def test_not(self):
+        assert V.not3(True) is False
+        assert V.not3(False) is True
+        assert V.not3(None) is None
+
+
+class TestTruth:
+    def test_null_is_unknown(self):
+        assert V.truth(None, RELAXED) is None
+        assert V.truth(None, STRICT) is None
+
+    def test_bool_passthrough(self):
+        assert V.truth(True, STRICT) is True
+        assert V.truth(False, STRICT) is False
+
+    def test_relaxed_numbers(self):
+        assert V.truth(1, RELAXED) is True
+        assert V.truth(0, RELAXED) is False
+        assert V.truth(-2.5, RELAXED) is True
+
+    def test_relaxed_text_numeric_prefix(self):
+        assert V.truth("1abc", RELAXED) is True
+        assert V.truth("abc", RELAXED) is False
+        assert V.truth("0", RELAXED) is False
+
+    def test_strict_rejects_non_boolean(self):
+        with pytest.raises(TypeError_):
+            V.truth(1, STRICT)
+        with pytest.raises(TypeError_):
+            V.truth("x", STRICT)
+
+
+class TestCompare:
+    def test_null_propagates(self):
+        assert V.compare(None, 1, RELAXED) is None
+        assert V.compare("a", None, RELAXED) is None
+
+    def test_numeric(self):
+        assert V.compare(1, 2, RELAXED) < 0
+        assert V.compare(2, 2, RELAXED) == 0
+        assert V.compare(2.5, 2, RELAXED) > 0
+
+    def test_bool_compares_as_number(self):
+        assert V.compare(True, 1, RELAXED) == 0
+        assert V.compare(False, 1, STRICT) < 0
+
+    def test_text(self):
+        assert V.compare("a", "b", STRICT) < 0
+        assert V.compare("b", "b", STRICT) == 0
+
+    def test_strict_rejects_mixed(self):
+        with pytest.raises(TypeError_):
+            V.compare(1, "1", STRICT)
+
+    def test_relaxed_coerces_mixed(self):
+        assert V.compare(1, "1", RELAXED) == 0
+        assert V.compare(2, "1abc", RELAXED) > 0
+
+    def test_eq3(self):
+        assert V.eq3(1, 1, RELAXED) is True
+        assert V.eq3(1, 2, RELAXED) is False
+        assert V.eq3(None, 1, RELAXED) is None
+
+
+class TestDistinctEq:
+    def test_null_equals_null(self):
+        assert V.distinct_eq(None, None) is True
+
+    def test_null_vs_value(self):
+        assert V.distinct_eq(None, 1) is False
+        assert V.distinct_eq("x", None) is False
+
+    def test_values(self):
+        assert V.distinct_eq(1, 1) is True
+        assert V.distinct_eq(1, 2) is False
+
+
+class TestSortKey:
+    def test_total_order_across_types(self):
+        values = ["b", None, 2, True, 1.5, "a", 0]
+        ordered = sorted(values, key=V.sort_key)
+        assert ordered[0] is None
+        assert ordered[-2:] == ["a", "b"]
+
+    def test_row_sort_key_is_stable(self):
+        assert V.row_sort_key((1, "a")) == V.row_sort_key((1, "a"))
+        assert V.row_sort_key((1, "a")) != V.row_sort_key((1, "b"))
+
+
+class TestArith:
+    def test_null_propagates(self):
+        assert V.arith("+", None, 1, RELAXED) is None
+        assert V.arith("*", 2, None, RELAXED) is None
+
+    def test_integer_ops(self):
+        assert V.arith("+", 2, 3, RELAXED) == 5
+        assert V.arith("-", 2, 3, RELAXED) == -1
+        assert V.arith("*", 4, 3, RELAXED) == 12
+
+    def test_integer_division_truncates_toward_zero(self):
+        assert V.arith("/", 7, 2, RELAXED) == 3
+        assert V.arith("/", -7, 2, RELAXED) == -3
+
+    def test_float_division(self):
+        assert V.arith("/", 7.0, 2, RELAXED) == 3.5
+
+    def test_division_by_zero_relaxed_is_null(self):
+        assert V.arith("/", 1, 0, RELAXED) is None
+        assert V.arith("%", 1, 0, RELAXED) is None
+
+    def test_division_by_zero_strict_raises(self):
+        with pytest.raises(ValueError_):
+            V.arith("/", 1, 0, STRICT)
+
+    def test_modulo(self):
+        assert V.arith("%", 7, 3, RELAXED) == 1
+        assert V.arith("%", -7, 3, RELAXED) == -1
+
+    def test_overflow_raises(self):
+        with pytest.raises(ValueError_):
+            V.arith("+", 2**62, 2**62, RELAXED)
+
+    def test_strict_rejects_text_operand(self):
+        with pytest.raises(TypeError_):
+            V.arith("+", "1", 2, STRICT)
+
+    def test_relaxed_coerces_text_operand(self):
+        assert V.arith("+", "1", 2, RELAXED) == 3
+
+    def test_negate(self):
+        assert V.negate(5, RELAXED) == -5
+        assert V.negate(None, RELAXED) is None
+        with pytest.raises(TypeError_):
+            V.negate("a", STRICT)
+
+
+class TestConcat:
+    def test_basic(self):
+        assert V.concat("a", "b") == "ab"
+
+    def test_null(self):
+        assert V.concat(None, "b") is None
+        assert V.concat("a", None) is None
+
+    def test_number_coerces_to_text(self):
+        assert V.concat(1, "x") == "1x"
+
+
+class TestCast:
+    def test_cast_null(self):
+        assert V.cast(None, SqlType.INTEGER, RELAXED) is None
+
+    def test_to_text(self):
+        assert V.cast(12, SqlType.TEXT, RELAXED) == "12"
+        assert V.cast(True, SqlType.TEXT, RELAXED) == "1"
+        assert V.cast(1.0, SqlType.TEXT, RELAXED) == "1.0"
+
+    def test_to_integer_relaxed(self):
+        assert V.cast("12", SqlType.INTEGER, RELAXED) == 12
+        assert V.cast("12abc", SqlType.INTEGER, RELAXED) == 12
+        assert V.cast("abc", SqlType.INTEGER, RELAXED) == 0
+        assert V.cast(2.9, SqlType.INTEGER, RELAXED) == 2
+
+    def test_to_integer_strict_rejects_junk(self):
+        with pytest.raises(ValueError_):
+            V.cast("12abc", SqlType.INTEGER, STRICT)
+
+    def test_to_real(self):
+        assert V.cast("1.5", SqlType.REAL, STRICT) == 1.5
+        assert V.cast(3, SqlType.REAL, RELAXED) == 3.0
+
+    def test_to_boolean(self):
+        assert V.cast(1, SqlType.BOOLEAN, RELAXED) is True
+        assert V.cast(0, SqlType.BOOLEAN, RELAXED) is False
+
+
+class TestLike:
+    def test_literal_match(self):
+        assert V.like("abc", "abc", RELAXED) is True
+        assert V.like("abc", "abd", RELAXED) is False
+
+    def test_case_insensitive(self):
+        assert V.like("ABC", "abc", RELAXED) is True
+
+    def test_percent(self):
+        assert V.like("hello world", "hello%", RELAXED) is True
+        assert V.like("hello", "%llo", RELAXED) is True
+        assert V.like("hello", "h%o", RELAXED) is True
+        assert V.like("hello", "x%", RELAXED) is False
+
+    def test_underscore(self):
+        assert V.like("cat", "c_t", RELAXED) is True
+        assert V.like("cart", "c_t", RELAXED) is False
+
+    def test_null(self):
+        assert V.like(None, "a", RELAXED) is None
+        assert V.like("a", None, RELAXED) is None
+
+    def test_strict_requires_text(self):
+        with pytest.raises(TypeError_):
+            V.like(1, "1", STRICT)
+
+    def test_relaxed_coerces(self):
+        assert V.like(1, "1", RELAXED) is True
+
+    def test_only_percents(self):
+        assert V.like("anything", "%%", RELAXED) is True
+        assert V.like("", "%", RELAXED) is True
+
+
+class TestTextToNumber:
+    def test_prefix(self):
+        assert V._text_to_number("12abc") == 12
+        assert V._text_to_number("1.5x") == 1.5
+        assert V._text_to_number("abc") == 0
+        assert V._text_to_number("  7 ") == 7

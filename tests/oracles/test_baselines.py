@@ -1,0 +1,121 @@
+"""End-to-end tests for the baseline oracles (NoREC / TLP / DQE / EET)."""
+
+import pytest
+
+from repro import (
+    DQEOracle,
+    EETOracle,
+    MiniDBAdapter,
+    NoRECOracle,
+    TLPOracle,
+    make_engine,
+    run_campaign,
+)
+from repro.dialects.catalog import FAULTS_BY_ID
+
+ALL_BASELINES = [NoRECOracle, TLPOracle, DQEOracle, EETOracle]
+
+
+def campaign(oracle, profile="sqlite", faults=None, n_tests=300, seed=5, **kw):
+    adapter = MiniDBAdapter(make_engine(profile, faults=faults))
+    return run_campaign(oracle, adapter, n_tests=n_tests, seed=seed, **kw)
+
+
+class TestCleanEngines:
+    @pytest.mark.parametrize("oracle_cls", ALL_BASELINES)
+    @pytest.mark.parametrize("profile", ["sqlite", "cockroachdb"])
+    def test_no_false_alarms(self, oracle_cls, profile):
+        stats = campaign(oracle_cls(), profile=profile, n_tests=150)
+        assert stats.reports == [], [r.description for r in stats.reports[:2]]
+
+
+class TestNoREC:
+    def test_detects_where_level_fault(self):
+        fault = FAULTS_BY_ID["sqlite_index_between_where"]
+        stats = campaign(NoRECOracle(), faults=[fault], n_tests=600, seed=9)
+        assert fault.fault_id in stats.detected_fault_ids
+
+    def test_misses_subquery_fault(self):
+        # NoREC does not generate subqueries (paper Section 1).
+        fault = FAULTS_BY_ID["sqlite_agg_subquery_indexed"]
+        stats = campaign(NoRECOracle(), faults=[fault], n_tests=600, seed=9)
+        assert fault.fault_id not in stats.detected_fault_ids
+
+    def test_qpt_is_two(self):
+        stats = campaign(NoRECOracle(), n_tests=200)
+        assert stats.qpt == pytest.approx(2.0, abs=0.1)
+
+
+class TestTLP:
+    def test_detects_where_level_fault(self):
+        fault = FAULTS_BY_ID["cockroach_cross_not_where"]
+        stats = campaign(
+            TLPOracle(), profile="cockroachdb", faults=[fault], n_tests=600, seed=9
+        )
+        assert fault.fault_id in stats.detected_fault_ids
+
+    def test_detects_having_fault(self):
+        # TLP covers HAVING (paper Section 6).
+        fault = FAULTS_BY_ID["sqlite_having_between"]
+        stats = campaign(TLPOracle(), faults=[fault], n_tests=600, seed=9)
+        assert fault.fault_id in stats.detected_fault_ids
+
+    def test_misses_expression_level_fault(self):
+        # A consistent misevaluation of p keeps the partition invariant:
+        # p / NOT p / p IS NULL still cover each row exactly once.
+        fault = FAULTS_BY_ID["cockroach_in_large_int"]
+        stats = campaign(
+            TLPOracle(), profile="cockroachdb", faults=[fault], n_tests=600, seed=9
+        )
+        assert fault.fault_id not in stats.detected_fault_ids
+
+    def test_qpt_between_two_and_four(self):
+        # Partitions run as one UNION ALL query or three queries (paper
+        # Section 4.3: TLP's QPT is a little above 2).
+        stats = campaign(TLPOracle(), n_tests=300)
+        assert 2.0 < stats.qpt < 4.5
+
+
+class TestDQE:
+    def test_detects_select_only_fault(self):
+        # Listing 10 family: wrong in SELECT, fine in UPDATE/DELETE.
+        fault = FAULTS_BY_ID["tidb_in_list_where_select"]
+        stats = campaign(
+            DQEOracle(), profile="tidb", faults=[fault], n_tests=600, seed=9
+        )
+        assert fault.fault_id in stats.detected_fault_ids
+
+    def test_misses_clause_consistent_fault(self):
+        # Fires identically in SELECT/UPDATE/DELETE WHERE: DQE blind.
+        fault = FAULTS_BY_ID["cockroach_cte_case_not_between"]
+        stats = campaign(
+            DQEOracle(), profile="cockroachdb", faults=[fault], n_tests=400, seed=9
+        )
+        assert fault.fault_id not in stats.detected_fault_ids
+
+    def test_misses_join_fault(self):
+        # DQE cannot test JOIN (paper Section 4.3).
+        fault = FAULTS_BY_ID["sqlite_join_like_where"]
+        stats = campaign(DQEOracle(), faults=[fault], n_tests=400, seed=9)
+        assert fault.fault_id not in stats.detected_fault_ids
+
+    def test_qpt_is_high(self):
+        # Paper Table 3: DQE needs many statements per test (about 17).
+        stats = campaign(DQEOracle(), n_tests=200)
+        assert stats.qpt > 7.0
+
+    def test_work_table_cleaned_up(self):
+        adapter = MiniDBAdapter(make_engine("sqlite"))
+        run_campaign(DQEOracle(), adapter, n_tests=50, seed=1)
+        assert "dqe_w" not in adapter.engine.database.tables
+
+
+class TestEET:
+    def test_detects_where_level_fault(self):
+        fault = FAULTS_BY_ID["sqlite_index_between_where"]
+        stats = campaign(EETOracle(), faults=[fault], n_tests=600, seed=9)
+        assert fault.fault_id in stats.detected_fault_ids
+
+    def test_transformations_are_equivalent_on_clean_engine(self):
+        stats = campaign(EETOracle(), n_tests=400, seed=2)
+        assert stats.reports == []

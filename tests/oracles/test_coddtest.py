@@ -1,0 +1,153 @@
+"""End-to-end tests of the CODDTest oracle."""
+
+import random
+
+import pytest
+
+from repro import CoddTestOracle, MiniDBAdapter, make_engine, run_campaign
+from repro.dialects.catalog import FAULTS_BY_ID
+from repro.minidb import Engine
+
+
+def campaign(oracle, profile="sqlite", faults=None, n_tests=300, seed=5):
+    engine = make_engine(profile, faults=faults)
+    adapter = MiniDBAdapter(engine)
+    return run_campaign(oracle, adapter, n_tests=n_tests, seed=seed)
+
+
+class TestCleanEngine:
+    """On a fault-free engine the metamorphic relation must always hold."""
+
+    @pytest.mark.parametrize("profile", ["sqlite", "mysql", "cockroachdb", "duckdb", "tidb"])
+    def test_no_false_alarms(self, profile):
+        stats = campaign(CoddTestOracle(), profile=profile, n_tests=150)
+        assert stats.reports == []
+        assert stats.tests == 150
+
+    def test_queries_per_test_above_three(self):
+        # Paper Table 3: CODDTest needs >= 3 queries per test (A, O, F).
+        stats = campaign(CoddTestOracle(), n_tests=200)
+        assert stats.qpt >= 2.8
+
+    def test_expression_only_configuration(self):
+        stats = campaign(CoddTestOracle(expression_only=True), n_tests=150)
+        assert stats.reports == []
+
+    def test_subquery_only_configuration(self):
+        stats = campaign(CoddTestOracle(subquery_only=True), n_tests=150)
+        assert stats.reports == []
+
+    def test_subquery_config_has_more_plans_than_expression_config(self):
+        # Paper Table 3: CODDTest & Subquery covers far more unique plans.
+        expr_stats = campaign(CoddTestOracle(expression_only=True), n_tests=250)
+        subq_stats = campaign(CoddTestOracle(subquery_only=True), n_tests=250)
+        assert len(subq_stats.unique_plans) > len(expr_stats.unique_plans)
+
+
+class TestDetectsInjectedBugs:
+    @pytest.mark.parametrize(
+        "fault_id",
+        [
+            "sqlite_agg_subquery_indexed",  # Listing 1
+            "sqlite_join_on_exists",  # Listing 8
+            "cockroach_in_large_int",  # Listing 9 family
+            "duckdb_not_in_subquery",
+            "tidb_in_list_where_select",  # Listing 10
+            "tidb_correlated_shadow",
+        ],
+    )
+    def test_finds_fault(self, fault_id):
+        fault = FAULTS_BY_ID[fault_id]
+        for seed in (0, 1):
+            stats = campaign(
+                CoddTestOracle(),
+                profile=fault.profile,
+                faults=[fault],
+                n_tests=600,
+                seed=seed,
+            )
+            if fault_id in stats.detected_fault_ids:
+                return
+        raise AssertionError(f"CODDTest did not find {fault_id} in 2x600 tests")
+
+    def test_report_contains_reproduction_statements(self):
+        fault = FAULTS_BY_ID["sqlite_index_between_where"]
+        stats = campaign(
+            CoddTestOracle(), profile="sqlite", faults=[fault], n_tests=600, seed=0
+        )
+        assert stats.reports
+        report = stats.reports[0]
+        assert report.kind == "logic"
+        assert len(report.statements) >= 2  # at least original + folded
+        assert report.oracle == "coddtest"
+
+    def test_relation_folding_finds_insert_bug(self):
+        # Paper Listing 6: only the Section 3.4 extension reaches INSERT.
+        fault = FAULTS_BY_ID["tidb_insert_select_version"]
+        stats = campaign(
+            CoddTestOracle(relation_mode_prob=0.8),
+            profile="tidb",
+            faults=[fault],
+            n_tests=600,
+            seed=3,
+        )
+        assert "tidb_insert_select_version" in stats.detected_fault_ids
+
+
+class TestDeterminism:
+    def test_same_seed_same_outcome(self):
+        s1 = campaign(CoddTestOracle(), n_tests=100, seed=42)
+        s2 = campaign(CoddTestOracle(), n_tests=100, seed=42)
+        assert s1.queries_ok == s2.queries_ok
+        assert len(s1.reports) == len(s2.reports)
+        assert s1.unique_plans == s2.unique_plans
+
+    def test_different_seeds_differ(self):
+        s1 = campaign(CoddTestOracle(), n_tests=100, seed=1)
+        s2 = campaign(CoddTestOracle(), n_tests=100, seed=2)
+        assert s1.queries_ok != s2.queries_ok or s1.unique_plans != s2.unique_plans
+
+
+class TestFoldedQueryEquivalence:
+    """Replays of the paper's listings through the oracle machinery."""
+
+    def test_listing1_pipeline(self):
+        engine = Engine()
+        for sql in [
+            "CREATE TABLE t0 (c0)",
+            "INSERT INTO t0 (c0) VALUES (1)",
+            "CREATE INDEX i0 ON t0 (c0 > 0)",
+            "CREATE VIEW v0 (c0) AS SELECT AVG(t0.c0) FROM t0 GROUP BY 1 > t0.c0",
+        ]:
+            engine.execute(sql)
+        original = engine.execute(
+            "SELECT COUNT(*) FROM t0 INDEXED BY i0 WHERE "
+            "(SELECT COUNT(*) FROM v0 WHERE v0.c0 BETWEEN 0 AND 0)"
+        ).rows
+        aux = engine.execute(
+            "SELECT COUNT(*) FROM v0 WHERE v0.c0 BETWEEN 0 AND 0"
+        ).rows
+        folded = engine.execute(
+            f"SELECT COUNT(*) FROM t0 INDEXED BY i0 WHERE {aux[0][0]}"
+        ).rows
+        assert original == folded  # clean engine: relation holds
+
+    def test_listing1_with_fault_detects(self):
+        fault = FAULTS_BY_ID["sqlite_agg_subquery_indexed"]
+        engine = make_engine("sqlite", faults=[fault])
+        for sql in [
+            "CREATE TABLE t0 (c0)",
+            "INSERT INTO t0 (c0) VALUES (1)",
+            "CREATE INDEX i0 ON t0 (c0 > 0)",
+            "CREATE VIEW v0 (c0) AS SELECT AVG(t0.c0) FROM t0 GROUP BY 1 > t0.c0",
+        ]:
+            engine.execute(sql)
+        original = engine.execute(
+            "SELECT COUNT(*) FROM t0 INDEXED BY i0 WHERE "
+            "(SELECT COUNT(*) FROM v0 WHERE v0.c0 BETWEEN 0 AND 0)"
+        ).rows
+        folded = engine.execute("SELECT COUNT(*) FROM t0 INDEXED BY i0 WHERE 0").rows
+        # The bug makes the original query return 1 while the folded
+        # query correctly returns 0 -- exactly the paper's discrepancy.
+        assert original == [(1,)]
+        assert folded == [(0,)]

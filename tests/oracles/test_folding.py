@@ -1,0 +1,234 @@
+"""Unit tests for constant folding / propagation (paper Sections 3.1-3.2)."""
+
+import pytest
+
+from repro.core.folding import (
+    FoldSkip,
+    aux_for_dependent,
+    aux_for_independent,
+    build_case_mapping,
+    fold_expression,
+    fold_scalar,
+    fold_union_chain,
+    fold_value_list,
+    is_correlated_select,
+)
+from repro.generator.expr_gen import GenExpr, ScopeColumn
+from repro.generator.query_gen import FromSkeleton
+from repro.minidb import ast_nodes as A
+from repro.minidb.parser import parse_expression, parse_statement
+
+
+def scope_col(binding, name):
+    return ScopeColumn(binding, name, None)
+
+
+class TestAuxiliaryQueries:
+    def test_independent_wraps_in_select(self):
+        phi = parse_expression("LENGTH('abc') > 5")
+        aux = aux_for_independent(phi)
+        assert aux.to_sql() == "SELECT (LENGTH('abc') > 5) AS phi"
+
+    def test_bare_subquery_unwrapped(self):
+        # Paper Section 3.1: "this SELECT keyword can be omitted when phi
+        # is a non-correlated subquery" (Listing 1 A).
+        phi = parse_expression("(SELECT COUNT(*) FROM v0)")
+        aux = aux_for_independent(phi)
+        assert aux.to_sql() == "SELECT COUNT(*) FROM v0"
+
+    def test_dependent_includes_keys_and_from(self):
+        phi = parse_expression("t0.c0 + t0.c1 > 0")
+        refs = [scope_col("t0", "c0"), scope_col("t0", "c1")]
+        skeleton = FromSkeleton(A.NamedTable("t0", None), refs, ["t0"], [])
+        aux = aux_for_dependent(phi, refs, skeleton, phi_in_join_on=False)
+        sql = aux.to_sql()
+        assert sql.startswith("SELECT t0.c0 AS k0, t0.c1 AS k1,")
+        assert sql.endswith("FROM t0")
+
+    def test_join_on_phi_uses_cross_join(self):
+        # Paper Section 3.2: phi as the JOIN ON predicate sees raw row
+        # pairs, so its auxiliary FROM has no ON.
+        phi = parse_expression("a.x = b.y")
+        refs = [scope_col("a", "x"), scope_col("b", "y")]
+        join = A.Join(
+            "LEFT",
+            A.NamedTable("a", None),
+            A.NamedTable("b", None),
+            parse_expression("a.x = b.y"),
+        )
+        skeleton = FromSkeleton(join, refs, ["a", "b"], ["LEFT"], join)
+        aux = aux_for_dependent(phi, refs, skeleton, phi_in_join_on=True)
+        assert "CROSS JOIN" in aux.to_sql()
+        assert "ON" not in aux.to_sql().replace("ON", "ON", 1) or "LEFT" not in aux.to_sql()
+
+    def test_dependent_join_replicated(self):
+        # Paper Listing 4: phi above the join must replicate the join.
+        phi = parse_expression("b.y IS NULL")
+        refs = [scope_col("b", "y")]
+        join = A.Join(
+            "LEFT",
+            A.NamedTable("a", None),
+            A.NamedTable("b", None),
+            parse_expression("a.x = b.y"),
+        )
+        skeleton = FromSkeleton(join, refs, ["a", "b"], ["LEFT"], join)
+        aux = aux_for_dependent(phi, refs, skeleton, phi_in_join_on=False)
+        assert "LEFT JOIN" in aux.to_sql()
+
+
+class TestScalarFolding:
+    def test_single_value(self):
+        assert fold_scalar([(7,)], "error") == A.Literal(7)
+
+    def test_empty_is_null(self):
+        assert fold_scalar([], "error") == A.Literal(None)
+
+    def test_multi_row_first_policy(self):
+        assert fold_scalar([(1,), (2,)], "first") == A.Literal(1)
+
+    def test_multi_row_error_policy_skips(self):
+        with pytest.raises(FoldSkip):
+            fold_scalar([(1,), (2,)], "error")
+
+    def test_multi_column_rejected(self):
+        with pytest.raises(FoldSkip):
+            fold_scalar([(1, 2)], "error")
+
+
+class TestValueListFolding:
+    def test_values(self):
+        items = fold_value_list([(1,), (2,)])
+        assert [i.value for i in items] == [1, 2]
+
+    def test_empty(self):
+        assert fold_value_list([]) == []
+
+    def test_oversized_skips(self):
+        with pytest.raises(FoldSkip):
+            fold_value_list([(i,) for i in range(100)])
+
+    def test_union_chain(self):
+        chain = fold_union_chain([(1,), (2,), (3,)])
+        sql = chain.to_sql()
+        assert sql == "SELECT 1 AS v UNION ALL SELECT 2 AS v UNION ALL SELECT 3 AS v"
+
+    def test_union_chain_empty_rejected(self):
+        with pytest.raises(FoldSkip):
+            fold_union_chain([])
+
+
+class TestCaseMapping:
+    def test_basic_mapping(self):
+        refs = [scope_col("t0", "c0"), scope_col("t0", "c1")]
+        mapping = build_case_mapping(refs, [(-1, 1, False), (1, 2, True)])
+        sql = mapping.to_sql()
+        assert "WHEN ((t0.c0 = -1) AND (t0.c1 = 1)) THEN FALSE" in sql
+        assert "WHEN ((t0.c0 = 1) AND (t0.c1 = 2)) THEN TRUE" in sql
+
+    def test_null_keys_use_is_null(self):
+        # Paper Listing 4: the NULL-keyed arm must be ``c IS NULL``.
+        refs = [scope_col("b", "y")]
+        mapping = build_case_mapping(refs, [(None, True)])
+        assert "(b.y IS NULL)" in mapping.to_sql()
+
+    def test_duplicate_keys_collapse(self):
+        refs = [scope_col("t", "c")]
+        mapping = build_case_mapping(refs, [(1, True), (1, True), (2, False)])
+        assert isinstance(mapping, A.Case)
+        assert len(mapping.whens) == 2
+
+    def test_empty_rows_skip(self):
+        # Paper Section 3.2: empty join input discards the test.
+        with pytest.raises(FoldSkip):
+            build_case_mapping([scope_col("t", "c")], [])
+
+    def test_no_else_branch(self):
+        refs = [scope_col("t", "c")]
+        mapping = build_case_mapping(refs, [(1, 5)])
+        assert mapping.else_ is None
+
+
+class TestCorrelationCheck:
+    def test_uncorrelated(self):
+        stmt = parse_statement("SELECT y.c FROM t AS y WHERE y.c > 0")
+        assert not is_correlated_select(stmt)
+
+    def test_correlated(self):
+        stmt = parse_statement("SELECT y.c FROM t AS y WHERE y.c = x.c")
+        assert is_correlated_select(stmt)
+
+    def test_nested_correlation(self):
+        stmt = parse_statement(
+            "SELECT y.c FROM t AS y WHERE EXISTS "
+            "(SELECT z.c FROM t AS z WHERE z.c = outer1.c)"
+        )
+        assert is_correlated_select(stmt)
+
+    def test_from_less_select(self):
+        assert not is_correlated_select(parse_statement("SELECT 1"))
+
+
+class TestFoldDispatch:
+    def _run(self, phi_sql, rows, outer_refs=(), **kwargs):
+        phi = parse_expression(phi_sql)
+        gen = GenExpr(phi, list(outer_refs))
+        skeleton = FromSkeleton(A.NamedTable("t", None), [], ["t"], [])
+        executed = []
+
+        def execute(sql):
+            executed.append(sql)
+            return rows
+
+        fold = fold_expression(
+            gen, skeleton, phi_in_join_on=False, execute=execute, **kwargs
+        )
+        return fold, executed
+
+    def test_in_subquery_folds_to_list(self):
+        fold, executed = self._run("c IN (SELECT y.v FROM u AS y)", [(1,), (2,)])
+        assert isinstance(fold.replacement, A.InList)
+        assert executed == ["SELECT y.v FROM u AS y"]
+
+    def test_in_empty_subquery_folds_to_false(self):
+        fold, _ = self._run("c IN (SELECT y.v FROM u AS y)", [])
+        assert fold.replacement == A.Literal(False)
+
+    def test_not_in_empty_subquery_folds_to_true(self):
+        fold, _ = self._run("c NOT IN (SELECT y.v FROM u AS y)", [])
+        assert fold.replacement == A.Literal(True)
+
+    def test_quantified_folds_to_union_chain(self):
+        fold, _ = self._run("c = ANY (SELECT y.v FROM u AS y)", [(1,), (2,)])
+        assert isinstance(fold.replacement, A.Quantified)
+        assert "UNION ALL" in fold.replacement.query.to_sql()
+
+    def test_any_empty_folds_false_all_folds_true(self):
+        fold_any, _ = self._run("c = ANY (SELECT y.v FROM u AS y)", [])
+        assert fold_any.replacement == A.Literal(False)
+        fold_all, _ = self._run("c > ALL (SELECT y.v FROM u AS y)", [])
+        assert fold_all.replacement == A.Literal(True)
+
+    def test_exists_folds_to_boolean(self):
+        fold, _ = self._run("EXISTS (SELECT y.v FROM u AS y)", [(1,)])
+        assert fold.replacement == A.Literal(True)
+        fold2, _ = self._run("NOT EXISTS (SELECT y.v FROM u AS y)", [(1,)])
+        assert fold2.replacement == A.Literal(False)
+
+    def test_independent_scalar(self):
+        fold, executed = self._run("1 + 2 > 0", [(True,)])
+        assert fold.replacement == A.Literal(True)
+        assert executed[0].startswith("SELECT")
+
+    def test_dependent_builds_case(self):
+        refs = [scope_col("t", "c")]
+        phi = parse_expression("t.c > 0")
+        gen = GenExpr(phi, refs)
+        skeleton = FromSkeleton(A.NamedTable("t", None), refs, ["t"], [])
+        fold = fold_expression(
+            gen,
+            skeleton,
+            phi_in_join_on=False,
+            execute=lambda sql: [(1, True), (-1, False)],
+        )
+        assert isinstance(fold.replacement, A.Case)
+        assert len(fold.replacement.whens) == 2

@@ -1,0 +1,148 @@
+"""Campaign runner, detection measurement, and reducer tests."""
+
+import pytest
+
+from repro import (
+    CoddTestOracle,
+    MiniDBAdapter,
+    NoRECOracle,
+    make_engine,
+    run_campaign,
+)
+from repro.dialects.catalog import FAULTS_BY_ID
+from repro.minidb import ast_nodes as A
+from repro.minidb.parser import parse_expression
+from repro.runner import detects_fault, reduce_expression, reduce_statements
+from repro.runner.campaign import Campaign
+
+
+class TestCampaign:
+    def test_runs_exact_test_count(self):
+        adapter = MiniDBAdapter(make_engine("sqlite"))
+        stats = run_campaign(CoddTestOracle(), adapter, n_tests=60, seed=0)
+        assert stats.tests == 60
+        assert stats.states >= 1
+
+    def test_seconds_budget_terminates(self):
+        adapter = MiniDBAdapter(make_engine("sqlite"))
+        stats = run_campaign(CoddTestOracle(), adapter, seconds=1.0, seed=0)
+        assert stats.wall_seconds >= 1.0
+        assert stats.tests > 0
+
+    def test_requires_some_budget(self):
+        adapter = MiniDBAdapter(make_engine("sqlite"))
+        campaign = Campaign(CoddTestOracle(), adapter)
+        with pytest.raises(ValueError):
+            campaign.run()
+
+    def test_collects_plans_and_coverage(self):
+        adapter = MiniDBAdapter(make_engine("sqlite"))
+        stats = run_campaign(CoddTestOracle(), adapter, n_tests=100, seed=0)
+        assert len(stats.unique_plans) > 5
+        assert 0.2 < stats.branch_coverage < 1.0
+
+    def test_max_reports_bounds_runaway_campaigns(self):
+        fault = FAULTS_BY_ID["cockroach_index_cmp_where"]
+        adapter = MiniDBAdapter(make_engine("cockroachdb", faults=[fault]))
+        stats = run_campaign(
+            CoddTestOracle(), adapter, n_tests=100000, seed=0, max_reports=10
+        )
+        assert len(stats.reports) <= 11
+
+    def test_bug_kind_counters(self):
+        fault = FAULTS_BY_ID["tidb_ie_some_quantifier"]
+        adapter = MiniDBAdapter(make_engine("tidb", faults=[fault]))
+        stats = run_campaign(CoddTestOracle(), adapter, n_tests=400, seed=1)
+        if stats.reports:
+            assert stats.bug_reports_by_kind.get("internal error", 0) >= 1
+
+
+class TestDetectsFault:
+    def test_coddtest_detects_its_fault(self):
+        fault = FAULTS_BY_ID["sqlite_view_join_where"]
+        assert detects_fault(lambda: CoddTestOracle(), fault, n_tests=400, seed=5)
+
+    def test_norec_misses_subquery_fault(self):
+        fault = FAULTS_BY_ID["sqlite_agg_subquery_indexed"]
+        assert not detects_fault(
+            lambda: NoRECOracle(), fault, n_tests=300, seed=5, attempts=1
+        )
+
+
+class TestReduceStatements:
+    def test_reduces_to_minimal_failing_subset(self):
+        statements = [f"s{i}" for i in range(8)]
+
+        def still_fails(subset):
+            return "s3" in subset and "s6" in subset
+
+        reduced = reduce_statements(statements, still_fails)
+        assert set(reduced) == {"s3", "s6"}
+
+    def test_single_statement_case(self):
+        reduced = reduce_statements(["a", "b"], lambda s: "a" in s)
+        assert reduced == ["a"]
+
+    def test_requires_failing_input(self):
+        with pytest.raises(AssertionError):
+            reduce_statements(["a"], lambda s: False)
+
+    def test_end_to_end_reduction_of_bug_case(self):
+        """Reduce a real bug-inducing statement list from a campaign."""
+        fault = FAULTS_BY_ID["sqlite_index_between_where"]
+
+        def still_fails(statements):
+            engine = make_engine("sqlite", faults=[fault])
+            last_two = []
+            from repro.errors import ReproError, SqlError
+
+            for sql in statements:
+                try:
+                    result = engine.execute(sql)
+                except (SqlError, ReproError):
+                    return False
+                upper = sql.lstrip().upper()
+                if upper.startswith("SELECT"):
+                    last_two.append(result.rows)
+            if len(last_two) < 2:
+                return False
+            from repro.oracles_base import rows_equal
+
+            return not rows_equal(last_two[-2], last_two[-1])
+
+        # A hand-built failing case (original vs folded query).
+        statements = [
+            "CREATE TABLE t (c INT)",
+            "CREATE INDEX ix ON t (c)",
+            "INSERT INTO t VALUES (1), (2), (3)",
+            "CREATE VIEW unused (x) AS SELECT 1",
+            "SELECT COUNT(*) FROM t WHERE c BETWEEN 1 AND 2",
+            "SELECT COUNT(*) FROM t WHERE 0",
+        ]
+        assert still_fails(statements)
+        reduced = reduce_statements(statements, still_fails)
+        assert "CREATE VIEW unused (x) AS SELECT 1" not in reduced
+        assert len(reduced) <= 5
+
+
+class TestReduceExpression:
+    def test_hoists_relevant_child(self):
+        expr = parse_expression("(a AND (b IN (1, 2))) OR FALSE")
+
+        def still_fails(e):
+            return any(
+                isinstance(n, A.InList) for n in A.walk(e)
+            )
+
+        reduced = reduce_expression(expr, still_fails)
+        assert isinstance(reduced, A.InList)
+
+    def test_replaces_subtrees_with_literals(self):
+        expr = parse_expression("CASE WHEN x > 1 THEN a ELSE b END = 5")
+
+        def still_fails(e):
+            return any(isinstance(n, A.Case) for n in A.walk(e))
+
+        reduced = reduce_expression(expr, still_fails)
+        assert any(isinstance(n, A.Case) for n in A.walk(reduced))
+        assert len(reduced.to_sql()) <= len(expr.to_sql())

@@ -1,0 +1,103 @@
+"""Report rendering and CLI tests."""
+
+from repro.cli import main as cli_main
+from repro.report import (
+    render_detection_table,
+    render_efficiency_table,
+    render_maxdepth_series,
+    render_table1,
+)
+
+
+class TestRenderTable1:
+    def test_full_catalog_renders_paper_totals(self):
+        from repro.dialects import FAULTS_BY_PROFILE
+
+        found = {
+            profile: {f.fault_id for f in faults}
+            for profile, faults in FAULTS_BY_PROFILE.items()
+        }
+        text = render_table1(found)
+        assert "SQLite" in text and "TiDB" in text
+        # All 45 found -> the totals row equals paper Table 1.
+        assert text.splitlines()[-1].split() == [
+            "Total", "24", "14", "2", "5", "33", "12", "45",
+        ]
+
+    def test_partial_findings(self):
+        text = render_table1({"sqlite": {"sqlite_join_on_exists"}})
+        assert "SQLite" in text
+        assert " 1" in text
+
+    def test_unknown_ids_ignored(self):
+        text = render_table1({"sqlite": {"not_a_fault"}})
+        assert "Total" in text
+
+
+class TestRenderOtherTables:
+    def test_detection_table(self):
+        text = render_detection_table(
+            {
+                "coddtest": {"a", "b", "c"},
+                "norec": {"a"},
+                "tlp": {"b"},
+                "dqe": set(),
+            }
+        )
+        assert "NOREC" in text
+        assert "Only CODD" in text
+        assert text.splitlines()[-1].endswith("3")
+
+    def test_efficiency_table(self):
+        rows = [
+            {
+                "oracle": "norec",
+                "tests": 100,
+                "queries_ok": 200,
+                "queries_err": 1,
+                "qpt": 2.0,
+                "unique_plans": 42,
+                "coverage": 0.63,
+            }
+        ]
+        text = render_efficiency_table(rows)
+        assert "norec" in text and "63.00%" in text
+
+    def test_maxdepth_series(self):
+        text = render_maxdepth_series(
+            {1: {"us_per_query": 10.0, "tests": 100, "unique_plans": 5}}
+        )
+        assert "MaxDepth" in text and "10.0" in text
+
+
+class TestCli:
+    def test_hunt_buggy(self, capsys):
+        rc = cli_main(
+            ["hunt", "--dialect", "sqlite", "--buggy", "--tests", "120", "--seed", "2"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "coddtest on sqlite" in out or "tests" in out
+
+    def test_hunt_clean_reports_nothing(self, capsys):
+        rc = cli_main(["hunt", "--tests", "60"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "bug reports: 0" in out
+
+    def test_compare(self, capsys):
+        rc = cli_main(["compare", "--tests", "40"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for name in ("coddtest", "norec", "tlp", "dqe", "eet"):
+            assert name in out
+
+    def test_sqlite3_subcommand(self, capsys):
+        rc = cli_main(["sqlite3", "--tests", "30"])
+        assert rc == 0
+        assert "real sqlite3" in capsys.readouterr().out
+
+    def test_oracle_selection(self, capsys):
+        rc = cli_main(["hunt", "--oracle", "norec", "--tests", "40"])
+        assert rc == 0
+        assert "norec" in capsys.readouterr().out

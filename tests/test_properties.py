@@ -1,0 +1,233 @@
+"""Property-based tests (hypothesis) for core invariants.
+
+The flagship property is *differential correctness of the substrate*: on
+a restricted SQL subset, MiniDB must agree with the real SQLite for
+arbitrary generated tables and predicates.  The oracles' soundness rests
+on the engine being deterministic and semantically conventional, so this
+is the invariant most worth fuzzing.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+
+from hypothesis import given, settings, strategies as st
+
+from repro.minidb import Engine, values as V
+from repro.minidb.values import TypingMode
+from repro.oracles_base import canonical
+
+RELAXED = TypingMode.RELAXED
+
+ternary = st.sampled_from([True, False, None])
+small_int = st.integers(min_value=-99, max_value=99)
+sql_value = st.one_of(
+    st.none(),
+    st.booleans(),
+    small_int,
+    st.text(alphabet="abcx01", max_size=4),
+)
+
+
+class TestTernaryLogicProperties:
+    @given(a=ternary, b=ternary)
+    def test_de_morgan_and(self, a, b):
+        assert V.not3(V.and3(a, b)) == V.or3(V.not3(a), V.not3(b))
+
+    @given(a=ternary, b=ternary)
+    def test_de_morgan_or(self, a, b):
+        assert V.not3(V.or3(a, b)) == V.and3(V.not3(a), V.not3(b))
+
+    @given(a=ternary, b=ternary)
+    def test_commutativity(self, a, b):
+        assert V.and3(a, b) == V.and3(b, a)
+        assert V.or3(a, b) == V.or3(b, a)
+
+    @given(a=ternary)
+    def test_double_negation(self, a):
+        assert V.not3(V.not3(a)) == a
+
+    @given(a=ternary, b=ternary, c=ternary)
+    def test_associativity(self, a, b, c):
+        assert V.and3(V.and3(a, b), c) == V.and3(a, V.and3(b, c))
+        assert V.or3(V.or3(a, b), c) == V.or3(a, V.or3(b, c))
+
+
+class TestValueModelProperties:
+    @given(a=sql_value, b=sql_value)
+    def test_compare_antisymmetry(self, a, b):
+        ab = V.compare(a, b, RELAXED)
+        ba = V.compare(b, a, RELAXED)
+        if ab is None:
+            assert ba is None
+        else:
+            assert (ab > 0) == (ba < 0)
+            assert (ab == 0) == (ba == 0)
+
+    @given(v=sql_value)
+    def test_sort_key_reflexive(self, v):
+        assert V.sort_key(v) == V.sort_key(v)
+
+    @given(a=sql_value, b=sql_value)
+    def test_sort_key_total_order(self, a, b):
+        ka, kb = V.sort_key(a), V.sort_key(b)
+        assert (ka < kb) or (kb < ka) or (ka == kb)
+
+    @given(a=small_int, b=small_int)
+    def test_literal_roundtrip_through_engine(self, a, b):
+        engine = Engine()
+        got = engine.execute(f"SELECT {V.sql_literal(a)} + {V.sql_literal(b)}").rows
+        assert got == [(a + b,)]
+
+    @given(v=sql_value)
+    def test_sql_literal_roundtrip(self, v):
+        engine = Engine()
+        got = engine.execute(f"SELECT {V.sql_literal(v)}").rows[0][0]
+        assert got == v or (got is None and v is None)
+
+    @given(a=sql_value)
+    def test_null_propagation_in_arith(self, a):
+        assert V.arith("+", None, a, RELAXED) is None
+        assert V.arith("*", a, None, RELAXED) is None
+
+
+# ---------------------------------------------------------------------------
+# Differential: MiniDB vs the real SQLite on a common subset
+# ---------------------------------------------------------------------------
+
+int_or_null = st.one_of(st.none(), small_int)
+rows_strategy = st.lists(
+    st.tuples(int_or_null, int_or_null), min_size=1, max_size=6
+)
+
+# Predicates over (a, b) restricted to constructs where SQLite and
+# MiniDB semantics are defined to coincide.
+predicates = st.sampled_from(
+    [
+        "a > b",
+        "a = b",
+        "a != b",
+        "a IS NULL",
+        "a IS NOT NULL",
+        "a + b > 0",
+        "a BETWEEN -5 AND 5",
+        "a NOT BETWEEN b AND 10",
+        "a IN (1, 2, 3)",
+        "a NOT IN (1, NULL)",
+        "a IN (SELECT b FROM t)",
+        "EXISTS (SELECT 1 FROM t WHERE b > 0)",
+        "a > (SELECT MIN(b) FROM t)",
+        "CASE WHEN a > 0 THEN 1 ELSE 0 END = 1",
+        "(a > 0 AND b > 0) OR a IS NULL",
+        "NOT (a = b)",
+        "a * b != 6",
+    ]
+)
+
+
+def _both_engines(rows):
+    mini = Engine()
+    mini.execute("CREATE TABLE t (a INT, b INT)")
+    lite = sqlite3.connect(":memory:")
+    lite.execute("CREATE TABLE t (a INT, b INT)")
+    for a, b in rows:
+        mini.execute(
+            f"INSERT INTO t VALUES ({V.sql_literal(a)}, {V.sql_literal(b)})"
+        )
+        lite.execute("INSERT INTO t VALUES (?, ?)", (a, b))
+    return mini, lite
+
+
+@settings(max_examples=120, deadline=None)
+@given(rows=rows_strategy, predicate=predicates)
+def test_minidb_agrees_with_sqlite_on_where(rows, predicate):
+    mini, lite = _both_engines(rows)
+    sql = f"SELECT a, b FROM t WHERE {predicate}"
+    got_mini = canonical(mini.execute(sql).rows)
+    got_lite = canonical([tuple(r) for r in lite.execute(sql).fetchall()])
+    # SQLite returns ints for booleans; normalize.
+    got_mini = [
+        tuple(int(v) if isinstance(v, bool) else v for v in row)
+        for row in got_mini
+    ]
+    assert got_mini == got_lite, (sql, rows)
+
+
+@settings(max_examples=60, deadline=None)
+@given(rows=rows_strategy)
+def test_minidb_agrees_with_sqlite_on_aggregates(rows):
+    mini, lite = _both_engines(rows)
+    for sql in (
+        "SELECT COUNT(*) FROM t",
+        "SELECT COUNT(a), SUM(a), MIN(a), MAX(a) FROM t",
+        "SELECT COUNT(*) FROM t GROUP BY a > 0",
+        "SELECT a, COUNT(*) FROM t GROUP BY a HAVING COUNT(*) > 1",
+        "SELECT DISTINCT a FROM t",
+    ):
+        got_mini = canonical(mini.execute(sql).rows)
+        got_lite = canonical([tuple(r) for r in lite.execute(sql).fetchall()])
+        got_mini = [
+            tuple(int(v) if isinstance(v, bool) else v for v in row)
+            for row in got_mini
+        ]
+        assert got_mini == got_lite, (sql, rows)
+
+
+@settings(max_examples=60, deadline=None)
+@given(rows=rows_strategy)
+def test_minidb_agrees_with_sqlite_on_joins(rows):
+    mini, lite = _both_engines(rows)
+    for sql in (
+        "SELECT * FROM t AS x INNER JOIN t AS y ON x.a = y.b",
+        "SELECT * FROM t AS x LEFT JOIN t AS y ON x.a = y.a",
+        "SELECT x.a FROM t AS x CROSS JOIN t AS y",
+        "SELECT * FROM t AS x LEFT JOIN t AS y ON x.a = y.a WHERE y.b IS NULL",
+    ):
+        got_mini = canonical(mini.execute(sql).rows)
+        got_lite = canonical([tuple(r) for r in lite.execute(sql).fetchall()])
+        assert got_mini == got_lite, (sql, rows)
+
+
+# ---------------------------------------------------------------------------
+# Metamorphic invariants on the clean engine
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(rows=rows_strategy, predicate=predicates)
+def test_tlp_partition_invariant(rows, predicate):
+    """p / NOT p / p IS NULL retrieve each row exactly once."""
+    mini, _ = _both_engines(rows)
+    base = mini.execute("SELECT * FROM t").rows
+    parts = []
+    for wrapped in (predicate, f"NOT ({predicate})", f"({predicate}) IS NULL"):
+        parts.extend(mini.execute(f"SELECT * FROM t WHERE {wrapped}").rows)
+    assert canonical(parts) == canonical(base), predicate
+
+
+@settings(max_examples=60, deadline=None)
+@given(rows=rows_strategy, predicate=predicates)
+def test_norec_invariant(rows, predicate):
+    """WHERE count equals fetch-clause truth count (clean engine)."""
+    mini, _ = _both_engines(rows)
+    where_count = mini.execute(
+        f"SELECT COUNT(*) FROM t WHERE {predicate}"
+    ).rows[0][0]
+    fetched = mini.execute(f"SELECT ({predicate}) FROM t").rows
+    truth_count = sum(
+        1 for (v,) in fetched if V.truth(v, RELAXED) is True
+    )
+    assert where_count == truth_count, predicate
+
+
+@settings(max_examples=40, deadline=None)
+@given(rows=rows_strategy, predicate=predicates)
+def test_codd_independent_fold_invariant(rows, predicate):
+    """Folding a constant-true/false wrapper around any predicate must
+    not change results (a degenerate CODDTest fold)."""
+    mini, _ = _both_engines(rows)
+    base = mini.execute(f"SELECT * FROM t WHERE {predicate}").rows
+    folded = mini.execute(
+        f"SELECT * FROM t WHERE ({predicate}) AND (SELECT 1)"
+    ).rows
+    assert canonical(base) == canonical(folded)
