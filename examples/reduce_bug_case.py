@@ -20,42 +20,16 @@ FAULT = FAULTS_BY_ID["sqlite_view_join_where"]
 
 
 def find_bug_case() -> list[str]:
-    """Hunt until CODDTest reports a bug; return the reproduction:
-    the state-building statements followed by the oracle's own
-    statements (auxiliary / original / folded, in order)."""
+    """Hunt until CODDTest reports a bug; the report's statement list is
+    already a self-contained program (state-building DDL/DML followed by
+    the oracle's auxiliary / original / folded queries, in order)."""
     for seed in range(30):
-        engine = make_engine("sqlite", faults=[FAULT])
-        adapter = MiniDBAdapter(engine)
-        state_log: list[str] = []
-        original_execute = adapter.execute
-        original_reset = adapter.reset
-
-        def recording_execute(sql):
-            state_log.append(sql)
-            return original_execute(sql)
-
-        def recording_reset():
-            state_log.clear()  # a new state starts from an empty database
-            return original_reset()
-
-        adapter.execute = recording_execute  # type: ignore[method-assign]
-        adapter.reset = recording_reset  # type: ignore[method-assign]
+        adapter = MiniDBAdapter(make_engine("sqlite", faults=[FAULT]))
         stats = run_campaign(
             CoddTestOracle(), adapter, n_tests=400, seed=seed, max_reports=1
         )
         if stats.reports:
-            report = stats.reports[0]
-            # Setup = the current state's DDL/DML, excluding statements
-            # the oracle issued itself during the failing test.
-            oracle_tail = report.statements
-            tail_set = set(oracle_tail)
-            setup = [
-                s
-                for s in state_log
-                if s not in tail_set
-                and s.lstrip().upper().startswith(("CREATE", "INSERT"))
-            ]
-            return setup + oracle_tail
+            return stats.reports[0].statements
     raise SystemExit("no bug found; try more seeds")
 
 

@@ -16,6 +16,14 @@ from repro.adapters import MiniDBAdapter, Sqlite3Adapter
 from repro.baselines import DQEOracle, EETOracle, NoRECOracle, TLPOracle
 from repro.core import CoddTestOracle
 from repro.dialects import ALL_FAULTS, LOGIC_FAULTS, get_dialect, make_engine
+from repro.fleet import (
+    BugCorpus,
+    FleetConfig,
+    FleetResult,
+    fingerprint_report,
+    make_replay_reducer,
+    run_fleet,
+)
 from repro.minidb import Engine, EngineProfile
 from repro.oracles_base import Oracle, TestOutcome, TestReport
 from repro.runner import (
@@ -50,5 +58,11 @@ __all__ = [
     "run_campaign",
     "detects_fault",
     "detection_matrix",
+    "BugCorpus",
+    "FleetConfig",
+    "FleetResult",
+    "fingerprint_report",
+    "make_replay_reducer",
+    "run_fleet",
     "__version__",
 ]

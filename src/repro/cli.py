@@ -2,12 +2,16 @@
 
 Subcommands::
 
-    coddtest hunt     --dialect sqlite --tests 1000 [--buggy] [--oracle coddtest]
-    coddtest compare  --tests 400            # per-oracle detection counts
-    coddtest sqlite3  --tests 200            # run against the real SQLite
+    coddtest hunt     --dialect sqlite --tests 1000 [--buggy] [--oracle coddtest] [--workers N]
+    coddtest fleet    --workers 4 --tests 2000 [--corpus bugs.jsonl]
+    coddtest compare  --tests 400 [--workers N]  # per-oracle detection counts
+    coddtest sqlite3  --tests 200                # run against the real SQLite
 
 Examples live in ``examples/``; this CLI wraps the same public API for
-quick interactive use.
+quick interactive use.  ``hunt`` and ``compare`` route through the
+fleet orchestrator, so ``--workers 1`` (the default) reproduces the
+historical serial behaviour bit-for-bit while ``--workers N`` shards
+the same campaign across N processes.
 """
 
 from __future__ import annotations
@@ -15,19 +19,19 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.adapters import MiniDBAdapter, Sqlite3Adapter
-from repro.baselines import DQEOracle, EETOracle, NoRECOracle, TLPOracle
+from repro.adapters import Sqlite3Adapter
 from repro.core import CoddTestOracle
-from repro.dialects import PROFILES, make_engine
+from repro.dialects import PROFILES
+from repro.fleet import (
+    BugCorpus,
+    FleetConfig,
+    ProgressPrinter,
+    make_replay_reducer,
+    run_fleet,
+)
+from repro.fleet.orchestrator import ORACLE_FACTORIES as ORACLES
+from repro.report import render_fleet_table
 from repro.runner import run_campaign
-
-ORACLES = {
-    "coddtest": CoddTestOracle,
-    "norec": NoRECOracle,
-    "tlp": TLPOracle,
-    "dqe": DQEOracle,
-    "eet": EETOracle,
-}
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -39,20 +43,43 @@ def main(argv: list[str] | None = None) -> int:
     sub = parser.add_subparsers(dest="command", required=True)
 
     hunt = sub.add_parser("hunt", help="run a bug-hunting campaign on MiniDB")
-    hunt.add_argument("--dialect", choices=sorted(PROFILES), default="sqlite")
-    hunt.add_argument("--oracle", choices=sorted(ORACLES), default="coddtest")
-    hunt.add_argument("--tests", type=int, default=1000)
-    hunt.add_argument("--seed", type=int, default=0)
-    hunt.add_argument(
-        "--buggy",
+    _add_campaign_args(hunt, default_tests=1000)
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="sharded parallel campaign with a persistent bug corpus",
+    )
+    _add_campaign_args(fleet, default_tests=None)
+    fleet.add_argument(
+        "--seconds",
+        type=float,
+        default=None,
+        help="wall-clock budget per shard (default when --tests is "
+        "omitted: 2000 tests)",
+    )
+    fleet.add_argument(
+        "--corpus",
+        default=None,
+        metavar="PATH",
+        help="JSONL bug corpus: resumed if it exists, new bugs appended",
+    )
+    fleet.add_argument(
+        "--max-reports", type=int, default=1000, dest="max_reports"
+    )
+    fleet.add_argument(
+        "--no-reduce",
         action="store_true",
-        help="enable the profile's injected fault catalog",
+        help="skip ddmin reduction of first-seen bugs",
+    )
+    fleet.add_argument(
+        "--quiet", action="store_true", help="suppress progress lines"
     )
 
     compare = sub.add_parser("compare", help="compare oracle throughput")
     compare.add_argument("--tests", type=int, default=400)
     compare.add_argument("--dialect", choices=sorted(PROFILES), default="sqlite")
     compare.add_argument("--seed", type=int, default=0)
+    compare.add_argument("--workers", type=int, default=1)
 
     real = sub.add_parser("sqlite3", help="test the real stdlib SQLite")
     real.add_argument("--tests", type=int, default=200)
@@ -60,21 +87,50 @@ def main(argv: list[str] | None = None) -> int:
 
     args = parser.parse_args(argv)
 
-    if args.command == "hunt":
-        return _hunt(args)
-    if args.command == "compare":
-        return _compare(args)
-    return _sqlite3(args)
+    try:
+        if args.command == "hunt":
+            return _hunt(args)
+        if args.command == "fleet":
+            return _fleet(args)
+        if args.command == "compare":
+            return _compare(args)
+        return _sqlite3(args)
+    except (ValueError, OSError) as exc:
+        # Bad config (e.g. --workers 0) or unusable --corpus path.
+        print(f"coddtest: error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _add_campaign_args(sub_parser, default_tests: int | None) -> None:
+    sub_parser.add_argument(
+        "--dialect", choices=sorted(PROFILES), default="sqlite"
+    )
+    sub_parser.add_argument(
+        "--oracle", choices=sorted(ORACLES), default="coddtest"
+    )
+    sub_parser.add_argument("--tests", type=int, default=default_tests)
+    sub_parser.add_argument("--seed", type=int, default=0)
+    sub_parser.add_argument("--workers", type=int, default=1)
+    sub_parser.add_argument(
+        "--buggy",
+        action="store_true",
+        help="enable the profile's injected fault catalog",
+    )
 
 
 def _hunt(args) -> int:
-    adapter = MiniDBAdapter(
-        make_engine(args.dialect, with_catalog_faults=args.buggy)
+    config = FleetConfig(
+        oracle=args.oracle,
+        dialect=args.dialect,
+        buggy=args.buggy,
+        workers=args.workers,
+        seed=args.seed,
+        n_tests=args.tests,
     )
-    oracle = ORACLES[args.oracle]()
-    stats = run_campaign(oracle, adapter, n_tests=args.tests, seed=args.seed)
+    result = run_fleet(config)
+    stats = result.merged
     print(
-        f"{oracle.name} on {args.dialect}: {stats.tests} tests, "
+        f"{args.oracle} on {args.dialect}: {stats.tests} tests, "
         f"{stats.queries_ok} queries, QPT {stats.qpt:.2f}, "
         f"{len(stats.unique_plans)} unique plans, "
         f"coverage {100 * stats.branch_coverage:.1f}%"
@@ -92,10 +148,74 @@ def _hunt(args) -> int:
     return 0
 
 
+def _fleet(args) -> int:
+    n_tests = args.tests
+    if n_tests is None and args.seconds is None:
+        n_tests = 2000
+    config = FleetConfig(
+        oracle=args.oracle,
+        dialect=args.dialect,
+        buggy=args.buggy,
+        workers=args.workers,
+        seed=args.seed,
+        n_tests=n_tests,
+        seconds=args.seconds,
+        max_reports=args.max_reports,
+    )
+    reduce_fn = None if args.no_reduce else make_replay_reducer(config)
+    if args.corpus:
+        corpus = BugCorpus.open(args.corpus, reduce_fn=reduce_fn)
+        # Fail fast on an unwritable path -- not after a long campaign.
+        with open(args.corpus, "a", encoding="utf-8"):
+            pass
+        known_before = len(corpus)
+    else:
+        corpus = BugCorpus(reduce_fn=reduce_fn)
+        known_before = 0
+    printer = None if args.quiet else ProgressPrinter()
+
+    result = run_fleet(config, corpus=corpus, printer=printer)
+
+    print(render_fleet_table(result.shards, result.merged))
+    print(
+        f"\nfleet wall-clock {result.wall_seconds:.1f}s, "
+        f"{result.merged.tests / max(result.wall_seconds, 1e-9):.1f} tests/s "
+        f"across {config.workers} worker(s)"
+    )
+    print(
+        f"bug corpus: {len(result.merged.reports)} reports -> "
+        f"{len(result.new_fingerprints)} new unique, "
+        f"{result.duplicate_reports} duplicates "
+        f"({known_before} known before, {len(corpus)} total)"
+    )
+    if args.corpus:
+        corpus.save()
+        print(f"corpus saved to {args.corpus}")
+    new = set(result.new_fingerprints)
+    shown = 0
+    for entry in corpus.entries.values():
+        if entry.fingerprint not in new:
+            continue
+        if shown >= 5:
+            print(f"\n... and {len(new) - shown} more new bugs")
+            break
+        shown += 1
+        print(f"\n[{entry.kind}] {entry.fingerprint} ({entry.oracle})")
+        for sql in entry.reduced_statements or entry.statements:
+            print(f"  {sql}")
+    return 0
+
+
 def _compare(args) -> int:
-    for name, cls in ORACLES.items():
-        adapter = MiniDBAdapter(make_engine(args.dialect))
-        stats = run_campaign(cls(), adapter, n_tests=args.tests, seed=args.seed)
+    for name in ORACLES:
+        config = FleetConfig(
+            oracle=name,
+            dialect=args.dialect,
+            workers=args.workers,
+            seed=args.seed,
+            n_tests=args.tests,
+        )
+        stats = run_fleet(config).merged
         print(
             f"{name:10s} tests/s {stats.tests_per_second:8.1f}  "
             f"QPT {stats.qpt:5.2f}  plans {len(stats.unique_plans):5d}  "

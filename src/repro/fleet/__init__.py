@@ -1,0 +1,50 @@
+"""Fleet: sharded parallel campaign orchestration with a persistent bug
+corpus.
+
+The paper's evaluation runs thousands of test cases per oracle per
+dialect; a single-process loop is the binding constraint on bugs found
+per hour ("Scaling Automated Database System Testing", Zhong & Rigger
+2025).  This package shards one logical campaign across a
+``multiprocessing`` worker pool:
+
+* :mod:`repro.fleet.sharding` -- deterministic per-shard seeds and
+  budget splits (a 1-worker fleet bit-matches the serial campaign),
+* :mod:`repro.fleet.orchestrator` -- the worker pool, result streaming,
+  stats merging, and fleet-wide early stop,
+* :mod:`repro.fleet.corpus` -- a JSONL-backed deduplicated bug corpus
+  with ddmin reduction of first-seen bugs and checkpoint/resume,
+* :mod:`repro.fleet.progress` -- periodic throughput/dedup reporting.
+"""
+
+from repro.fleet.corpus import (
+    BugCorpus,
+    CorpusEntry,
+    fingerprint_report,
+    normalize_statement,
+)
+from repro.fleet.orchestrator import (
+    FleetConfig,
+    FleetResult,
+    build_shards,
+    make_replay_reducer,
+    run_fleet,
+)
+from repro.fleet.progress import ProgressPrinter, ProgressSnapshot
+from repro.fleet.sharding import ShardSpec, derive_shard_seeds, split_tests
+
+__all__ = [
+    "BugCorpus",
+    "CorpusEntry",
+    "fingerprint_report",
+    "normalize_statement",
+    "FleetConfig",
+    "FleetResult",
+    "build_shards",
+    "make_replay_reducer",
+    "run_fleet",
+    "ProgressPrinter",
+    "ProgressSnapshot",
+    "ShardSpec",
+    "derive_shard_seeds",
+    "split_tests",
+]

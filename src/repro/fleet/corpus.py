@@ -1,0 +1,210 @@
+"""Persistent, deduplicated bug corpus (JSONL).
+
+Long campaigns re-find the same injected fault through hundreds of
+superficially different test cases; what makes a fleet's output
+analyzable is the set of *distinct* bugs (QPG, Ba & Rigger 2023, make
+the same observation for query-plan corpora).  This module fingerprints
+each :class:`~repro.oracles_base.TestReport`, keeps one corpus entry per
+fingerprint, reduces the first-seen witness with the existing ddmin
+reducer, and persists everything as one JSON object per line so corpora
+can be appended to, merged, and resumed across fleet invocations.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator
+
+from repro.oracles_base import TestReport
+
+#: Random index names (``ix_t0_731``) would make otherwise-identical
+#: test cases hash differently; sequence numbers are noise, the indexed
+#: table is signal.
+_INDEX_NAME = re.compile(r"\bix_(\w+?)_\d+\b")
+_WS = re.compile(r"\s+")
+
+#: Optional reduction hook: takes the first-seen report, returns the
+#: reduced statement list or None when reduction is impossible (e.g. no
+#: ground-truth faults to replay against).
+ReduceFn = Callable[[TestReport], "list[str] | None"]
+
+
+def normalize_statement(sql: str) -> str:
+    """Canonical statement text for fingerprinting: collapsed
+    whitespace, no trailing semicolon, case-insensitive, stable index
+    names."""
+    text = _WS.sub(" ", sql).strip().rstrip(";").lower()
+    return _INDEX_NAME.sub(r"ix_\1_#", text)
+
+
+def fingerprint_report(report: TestReport) -> str:
+    """Stable identity of a bug-inducing test case.
+
+    Built from the failure kind, the normalized statement sequence, and
+    the ground-truth fault ids -- *not* the description, which embeds
+    volatile row values, nor the oracle name, so the same witness found
+    by two oracles deduplicates.
+    """
+    payload = json.dumps(
+        {
+            "kind": report.kind,
+            "statements": [normalize_statement(s) for s in report.statements],
+            "faults": sorted(report.fired_faults),
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+@dataclass
+class CorpusEntry:
+    """One distinct bug with its first-seen witness."""
+
+    fingerprint: str
+    oracle: str
+    kind: str
+    statements: list[str]
+    description: str
+    fired_faults: list[str] = field(default_factory=list)
+    reduced_statements: list[str] | None = None
+    times_seen: int = 1
+
+    def to_dict(self) -> dict:
+        return {
+            "fingerprint": self.fingerprint,
+            "oracle": self.oracle,
+            "kind": self.kind,
+            "statements": self.statements,
+            "description": self.description,
+            "fired_faults": self.fired_faults,
+            "reduced_statements": self.reduced_statements,
+            "times_seen": self.times_seen,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CorpusEntry":
+        return cls(
+            fingerprint=data["fingerprint"],
+            oracle=data["oracle"],
+            kind=data["kind"],
+            statements=list(data["statements"]),
+            description=data["description"],
+            fired_faults=list(data.get("fired_faults", ())),
+            reduced_statements=data.get("reduced_statements"),
+            times_seen=int(data.get("times_seen", 1)),
+        )
+
+
+class BugCorpus:
+    """In-memory index of distinct bugs, optionally backed by a JSONL
+    file.
+
+    ``add()`` appends newly fingerprinted entries to the backing file
+    immediately, so even an interrupted fleet leaves a loadable corpus;
+    ``save()`` rewrites the file to also persist updated ``times_seen``
+    counters.  Fingerprints are monotonic: nothing is ever removed.
+    """
+
+    def __init__(
+        self, path: str | None = None, reduce_fn: ReduceFn | None = None
+    ) -> None:
+        self.path = path
+        self.reduce_fn = reduce_fn
+        self.entries: dict[str, CorpusEntry] = {}
+
+    # -- construction ------------------------------------------------------------
+
+    @classmethod
+    def open(
+        cls, path: str, reduce_fn: ReduceFn | None = None
+    ) -> "BugCorpus":
+        """Load *path* if it exists (resume), else start empty."""
+        corpus = cls(path=path, reduce_fn=reduce_fn)
+        if os.path.exists(path):
+            for entry in _read_jsonl(path):
+                corpus.entries[entry.fingerprint] = entry
+        return corpus
+
+    # -- mutation ----------------------------------------------------------------
+
+    def add(self, report: TestReport) -> bool:
+        """Record *report*; True iff its fingerprint is new.
+
+        First-seen bugs are reduced (when a reducer is configured)
+        before persisting; duplicates just bump ``times_seen``.
+        """
+        fp = fingerprint_report(report)
+        entry = self.entries.get(fp)
+        if entry is not None:
+            entry.times_seen += 1
+            return False
+        entry = CorpusEntry(
+            fingerprint=fp,
+            oracle=report.oracle,
+            kind=report.kind,
+            statements=list(report.statements),
+            description=report.description,
+            fired_faults=sorted(report.fired_faults),
+        )
+        if self.reduce_fn is not None:
+            entry.reduced_statements = self.reduce_fn(report)
+        self.entries[fp] = entry
+        if self.path is not None:
+            with open(self.path, "a", encoding="utf-8") as fh:
+                fh.write(json.dumps(entry.to_dict(), sort_keys=True) + "\n")
+        return True
+
+    def merge(self, other: "BugCorpus | Iterable[CorpusEntry]") -> int:
+        """Fold another corpus in; returns the number of new entries."""
+        entries = other.entries.values() if isinstance(other, BugCorpus) else other
+        new = 0
+        for entry in entries:
+            mine = self.entries.get(entry.fingerprint)
+            if mine is None:
+                self.entries[entry.fingerprint] = entry
+                new += 1
+            else:
+                mine.times_seen += entry.times_seen
+        return new
+
+    def save(self, path: str | None = None) -> None:
+        """Rewrite the backing file with current counters."""
+        target = path or self.path
+        if target is None:
+            raise ValueError("no path given and corpus has no backing file")
+        tmp = target + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            for entry in self.entries.values():
+                fh.write(json.dumps(entry.to_dict(), sort_keys=True) + "\n")
+        os.replace(tmp, target)
+
+    # -- queries -----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self.entries
+
+    @property
+    def total_seen(self) -> int:
+        return sum(e.times_seen for e in self.entries.values())
+
+    @property
+    def by_kind(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for entry in self.entries.values():
+            out[entry.kind] = out.get(entry.kind, 0) + 1
+        return out
+
+
+def _read_jsonl(path: str) -> Iterator[CorpusEntry]:
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                yield CorpusEntry.from_dict(json.loads(line))

@@ -1,0 +1,520 @@
+"""Sharded campaign orchestration over a multiprocessing worker pool.
+
+Each worker owns a full private stack -- engine, adapter, oracle,
+state generator -- built from a picklable :class:`ShardSpec`, runs a
+plain serial :class:`~repro.runner.campaign.Campaign`, and streams
+progress plus its final :class:`CampaignStats` back over a queue.  The
+orchestrator merges shard stats (set-union of plans, max coverage, QPT
+recomputed from merged counters), enforces the fleet-wide
+``max_reports`` bound via a shared stop event, and feeds every report
+through the bug corpus for deduplication.
+
+A 1-worker fleet runs in-process through the same shard code path, so
+``run_fleet(workers=1, seed=S)`` bit-matches the serial
+``run_campaign(seed=S)`` (modulo wall-clock timing).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_mod
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.adapters.minidb_adapter import MiniDBAdapter
+from repro.adapters.sqlite3_adapter import Sqlite3Adapter
+from repro.baselines import DQEOracle, EETOracle, NoRECOracle, TLPOracle
+from repro.core import CoddTestOracle
+from repro.dialects import make_engine
+from repro.errors import (
+    EngineCrash,
+    EngineHang,
+    InternalError,
+    ReproError,
+    SqlError,
+)
+from repro.fleet.corpus import BugCorpus, ReduceFn, fingerprint_report
+from repro.fleet.progress import ProgressPrinter, ProgressSnapshot
+from repro.fleet.sharding import ShardSpec, derive_shard_seeds, split_tests
+from repro.oracles_base import Oracle, TestReport
+from repro.runner.campaign import Campaign, CampaignStats
+from repro.runner.reducer import reduce_statements
+
+#: Oracle registry shared with the CLI.
+ORACLE_FACTORIES: dict[str, Callable[..., Oracle]] = {
+    "coddtest": CoddTestOracle,
+    "norec": NoRECOracle,
+    "tlp": TLPOracle,
+    "dqe": DQEOracle,
+    "eet": EETOracle,
+}
+
+#: How often (seconds) a worker posts a progress message at most.
+PROGRESS_EVERY = 0.5
+
+
+@dataclass
+class FleetConfig:
+    """One fleet invocation, fully picklable."""
+
+    oracle: str = "coddtest"
+    oracle_kwargs: dict = field(default_factory=dict)
+    adapter: str = "minidb"  # "minidb" | "sqlite3"
+    dialect: str = "sqlite"
+    buggy: bool = False
+    workers: int = 1
+    seed: int = 0
+    n_tests: int | None = None
+    seconds: float | None = None
+    tests_per_state: int = 25
+    max_reports: int = 1000
+
+    def __post_init__(self) -> None:
+        if self.oracle not in ORACLE_FACTORIES:
+            raise ValueError(f"unknown oracle {self.oracle!r}")
+        if self.adapter not in ("minidb", "sqlite3"):
+            raise ValueError(f"unknown adapter {self.adapter!r}")
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.n_tests is None and self.seconds is None:
+            raise ValueError("specify n_tests and/or seconds")
+
+
+@dataclass
+class FleetResult:
+    """Merged outcome of a fleet run."""
+
+    merged: CampaignStats
+    shards: list[CampaignStats]
+    wall_seconds: float
+    new_fingerprints: list[str] = field(default_factory=list)
+    duplicate_reports: int = 0
+    corpus: BugCorpus | None = None
+
+
+def build_shards(config: FleetConfig) -> list[ShardSpec]:
+    """Deterministic shard plan for *config*."""
+    seeds = derive_shard_seeds(config.seed, config.workers)
+    quotas = split_tests(config.n_tests, config.workers)
+    return [
+        ShardSpec(
+            shard_index=i,
+            workers=config.workers,
+            seed=seeds[i],
+            n_tests=quotas[i],
+            seconds=config.seconds,
+            oracle=config.oracle,
+            oracle_kwargs=dict(config.oracle_kwargs),
+            adapter=config.adapter,
+            dialect=config.dialect,
+            buggy=config.buggy,
+            tests_per_state=config.tests_per_state,
+            # Each shard stays within the fleet-wide bound; the merge
+            # truncates again, and the stop event ends the other shards.
+            max_reports=config.max_reports,
+        )
+        for i in range(config.workers)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+
+def _build_adapter(spec: ShardSpec):
+    if spec.adapter == "sqlite3":
+        return Sqlite3Adapter()
+    return MiniDBAdapter(
+        make_engine(spec.dialect, with_catalog_faults=spec.buggy)
+    )
+
+
+def _run_shard(
+    spec: ShardSpec,
+    should_stop: Callable[[], bool] | None = None,
+    on_progress: Callable[[CampaignStats], None] | None = None,
+) -> CampaignStats:
+    """Run one shard to completion in the current process."""
+    oracle = ORACLE_FACTORIES[spec.oracle](**spec.oracle_kwargs)
+    campaign = Campaign(
+        oracle,
+        _build_adapter(spec),
+        seed=spec.seed,
+        tests_per_state=spec.tests_per_state,
+        max_reports=spec.max_reports,
+        should_stop=should_stop,
+        on_progress=on_progress,
+    )
+    return campaign.run(n_tests=spec.n_tests, seconds=spec.seconds)
+
+
+def _worker_main(spec: ShardSpec, out_queue, stop_event) -> None:
+    """Worker process entry point: run the shard, stream progress.
+
+    Progress messages carry the reports found since the previous
+    message, so the orchestrator can absorb them into the bug corpus
+    while the fleet is still running -- an interrupted fleet keeps the
+    bugs streamed so far.
+    """
+    last_sent = 0.0
+    reports_sent = 0
+
+    def on_progress(stats: CampaignStats) -> None:
+        nonlocal last_sent, reports_sent
+        now = time.monotonic()
+        if now - last_sent < PROGRESS_EVERY:
+            return
+        last_sent = now
+        new_reports = stats.reports[reports_sent:]
+        reports_sent = len(stats.reports)
+        out_queue.put(
+            (
+                "progress",
+                spec.shard_index,
+                {
+                    "tests": stats.tests,
+                    "skipped": stats.skipped,
+                    "queries_ok": stats.queries_ok,
+                    "queries_err": stats.queries_err,
+                    "reports": len(stats.reports),
+                    "new_reports": new_reports,
+                },
+            )
+        )
+
+    try:
+        stats = _run_shard(
+            spec, should_stop=stop_event.is_set, on_progress=on_progress
+        )
+    except Exception:
+        out_queue.put(("error", spec.shard_index, traceback.format_exc()))
+    else:
+        out_queue.put(("result", spec.shard_index, stats))
+
+
+# ---------------------------------------------------------------------------
+# Orchestrator side
+# ---------------------------------------------------------------------------
+
+
+class _CorpusSink:
+    """Feeds reports into the corpus *as they arrive*, so an
+    interrupted fleet keeps every bug streamed so far (matching the
+    corpus' append-on-add crash-safety), and tracks the new/duplicate
+    split for progress lines and the final result."""
+
+    def __init__(self, corpus: BugCorpus | None) -> None:
+        self.corpus = corpus
+        self.new_fingerprints: list[str] = []
+        self.duplicates = 0
+        #: Reports already absorbed per shard (progress streaming).
+        self.absorbed: dict[int, int] = {}
+
+    def absorb(self, shard_index: int, reports: list[TestReport]) -> None:
+        if self.corpus is None or not reports:
+            return
+        self.absorbed[shard_index] = (
+            self.absorbed.get(shard_index, 0) + len(reports)
+        )
+        for report in reports:
+            if self.corpus.add(report):
+                self.new_fingerprints.append(fingerprint_report(report))
+            else:
+                self.duplicates += 1
+
+    def absorb_remainder(self, shard_index: int, stats: CampaignStats) -> None:
+        """Absorb the reports of a finished shard that no progress
+        message carried yet."""
+        done = self.absorbed.get(shard_index, 0)
+        self.absorb(shard_index, stats.reports[done:])
+
+    @property
+    def unique(self) -> int | None:
+        """Newly fingerprinted this run; None without a corpus."""
+        return None if self.corpus is None else len(self.new_fingerprints)
+
+
+def run_fleet(
+    config: FleetConfig,
+    corpus: BugCorpus | None = None,
+    printer: ProgressPrinter | None = None,
+) -> FleetResult:
+    """Run a sharded campaign and merge the results.
+
+    *corpus* (optional) deduplicates reports across shards and past
+    invocations; *printer* (optional) emits periodic progress lines.
+    """
+    shards = build_shards(config)
+    sink = _CorpusSink(corpus)
+    start = time.monotonic()
+    if config.workers == 1:
+        shard_stats = [_run_one_inprocess(shards[0], sink, printer, start)]
+    else:
+        shard_stats = _run_pool(shards, config, sink, printer, start)
+    wall = time.monotonic() - start
+
+    # Both collection paths return shards in spec order, so the merge
+    # is deterministic; the corpus, fed in arrival order, holds the
+    # same entry *set* regardless of scheduling.
+    merged = CampaignStats.merge(shard_stats, max_reports=config.max_reports)
+    if config.workers > 1:
+        # Shards ran concurrently: fleet wall-clock, not max shard time.
+        merged.wall_seconds = wall
+
+    result = FleetResult(
+        merged=merged,
+        shards=shard_stats,
+        wall_seconds=wall,
+        corpus=corpus,
+        new_fingerprints=sink.new_fingerprints,
+        duplicate_reports=sink.duplicates,
+    )
+    if printer is not None:
+        printer.final(_snapshot(shard_stats, config, wall, sink))
+    return result
+
+
+def _run_one_inprocess(
+    spec: ShardSpec,
+    sink: _CorpusSink,
+    printer: ProgressPrinter | None,
+    start: float,
+) -> CampaignStats:
+    def on_progress(stats: CampaignStats) -> None:
+        sink.absorb_remainder(spec.shard_index, stats)
+        if printer is None:
+            return
+        snap = ProgressSnapshot(
+            elapsed=time.monotonic() - start,
+            workers=1,
+            shards_done=0,
+            tests=stats.tests,
+            skipped=stats.skipped,
+            queries_ok=stats.queries_ok,
+            queries_err=stats.queries_err,
+            reports=len(stats.reports),
+            unique_reports=sink.unique,
+        )
+        printer.maybe_print(snap)
+
+    stats = _run_shard(spec, on_progress=on_progress)
+    sink.absorb_remainder(spec.shard_index, stats)
+    return stats
+
+
+def _run_pool(
+    shards: list[ShardSpec],
+    config: FleetConfig,
+    sink: _CorpusSink,
+    printer: ProgressPrinter | None,
+    start: float,
+) -> list[CampaignStats]:
+    ctx = _mp_context()
+    out_queue = ctx.Queue()
+    stop_event = ctx.Event()
+    procs = [
+        ctx.Process(
+            target=_worker_main,
+            args=(spec, out_queue, stop_event),
+            daemon=True,
+            name=f"fleet-shard-{spec.shard_index}",
+        )
+        for spec in shards
+    ]
+    for proc in procs:
+        proc.start()
+
+    latest: dict[int, dict] = {}
+    results: dict[int, CampaignStats] = {}
+    errors: dict[int, str] = {}
+    dead_since: dict[int, float] = {}
+    try:
+        while len(results) + len(errors) < len(shards):
+            try:
+                kind, shard_index, payload = out_queue.get(timeout=0.5)
+            except queue_mod.Empty:
+                _check_liveness(procs, results, errors, dead_since)
+                continue
+            if kind == "progress":
+                latest[shard_index] = payload
+                sink.absorb(shard_index, payload.pop("new_reports", []))
+            elif kind == "result":
+                results[shard_index] = payload
+                latest[shard_index] = _final_payload(payload)
+                sink.absorb_remainder(shard_index, payload)
+                # A result that raced the liveness check wins.
+                errors.pop(shard_index, None)
+                dead_since.pop(shard_index, None)
+            else:  # "error"
+                errors[shard_index] = payload
+            if _reports_so_far(latest) >= config.max_reports:
+                stop_event.set()
+            if printer is not None:
+                printer.maybe_print(
+                    _queue_snapshot(latest, config, start, len(results), sink)
+                )
+    finally:
+        stop_event.set()
+        for proc in procs:
+            proc.join(timeout=10)
+            if proc.is_alive():  # pragma: no cover - defensive
+                proc.terminate()
+                proc.join()
+
+    if errors:
+        detail = "\n".join(
+            f"--- shard {idx} ---\n{tb}" for idx, tb in sorted(errors.items())
+        )
+        raise ReproError(
+            f"{len(errors)}/{len(shards)} fleet shards failed:\n{detail}"
+        )
+    return [results[i] for i in sorted(results)]
+
+
+def _mp_context():
+    """Prefer fork (workers inherit the loaded package; much cheaper
+    startup), fall back to the platform default elsewhere."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+
+#: How long a dead worker may stay silent before its shard is declared
+#: lost.  A worker that exits cleanly right after queueing its result
+#: can look dead while the queue's feeder thread is still flushing, so
+#: a missing result only counts as a failure after this grace window.
+_DEAD_GRACE_SECONDS = 5.0
+
+
+def _check_liveness(procs, results, errors, dead_since) -> None:
+    now = time.monotonic()
+    for proc in procs:
+        shard_index = int(proc.name.rsplit("-", 1)[1])
+        if (
+            proc.is_alive()
+            or shard_index in results
+            or shard_index in errors
+        ):
+            continue
+        first_seen_dead = dead_since.setdefault(shard_index, now)
+        if now - first_seen_dead < _DEAD_GRACE_SECONDS:
+            continue
+        errors[shard_index] = (
+            f"worker exited with code {proc.exitcode} without reporting "
+            "a result (killed or crashed hard)"
+        )
+
+
+def _final_payload(stats: CampaignStats) -> dict:
+    return {
+        "tests": stats.tests,
+        "skipped": stats.skipped,
+        "queries_ok": stats.queries_ok,
+        "queries_err": stats.queries_err,
+        "reports": len(stats.reports),
+    }
+
+
+def _reports_so_far(latest: dict[int, dict]) -> int:
+    return sum(p["reports"] for p in latest.values())
+
+
+def _queue_snapshot(
+    latest: dict[int, dict],
+    config: FleetConfig,
+    start: float,
+    done: int,
+    sink: _CorpusSink,
+) -> ProgressSnapshot:
+    return ProgressSnapshot(
+        elapsed=time.monotonic() - start,
+        workers=config.workers,
+        shards_done=done,
+        tests=sum(p["tests"] for p in latest.values()),
+        skipped=sum(p["skipped"] for p in latest.values()),
+        queries_ok=sum(p["queries_ok"] for p in latest.values()),
+        queries_err=sum(p["queries_err"] for p in latest.values()),
+        reports=_reports_so_far(latest),
+        unique_reports=sink.unique,
+    )
+
+
+def _snapshot(
+    shard_stats: list[CampaignStats],
+    config: FleetConfig,
+    wall: float,
+    sink: _CorpusSink,
+) -> ProgressSnapshot:
+    merged = CampaignStats.merge(shard_stats)
+    return ProgressSnapshot(
+        elapsed=wall,
+        workers=config.workers,
+        shards_done=config.workers,
+        tests=merged.tests,
+        skipped=merged.skipped,
+        queries_ok=merged.queries_ok,
+        queries_err=merged.queries_err,
+        reports=len(merged.reports),
+        # Newly fingerprinted this run, so a resumed corpus shows how
+        # much of the run was already-known bugs.
+        unique_reports=sink.unique,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Corpus reduction wired to the fleet's engine configuration
+# ---------------------------------------------------------------------------
+
+
+def make_replay_reducer(config: FleetConfig) -> ReduceFn | None:
+    """A corpus ``reduce_fn`` that ddmin-reduces first-seen bugs by
+    replaying candidate statement lists on a fresh engine.
+
+    Ground truth drives the "still fails" check: a candidate reproduces
+    the bug when the report's injected faults all fire again (logic
+    bugs) or the engine raises the same failure class (internal error /
+    crash / hang).  Real DBMS adapters have no ground truth, so there
+    is nothing safe to replay against -- returns None.
+    """
+    if config.adapter != "minidb":
+        return None
+
+    def reduce_fn(report: TestReport) -> list[str] | None:
+        target = set(report.fired_faults)
+        exceptional = report.kind in ("internal error", "crash", "hang")
+        if not target and not exceptional:
+            return None  # nothing observable to check against
+
+        def still_fails(stmts: list[str]) -> bool:
+            adapter = _build_adapter(
+                ShardSpec(
+                    shard_index=0,
+                    workers=1,
+                    seed=0,
+                    n_tests=None,
+                    seconds=0.0,
+                    oracle=config.oracle,
+                    adapter=config.adapter,
+                    dialect=config.dialect,
+                    buggy=config.buggy,
+                )
+            )
+            fired: set[str] = set()
+            for sql in stmts:
+                try:
+                    adapter.execute(sql)
+                except SqlError:
+                    return False  # candidate no longer a valid program
+                except (InternalError, EngineCrash, EngineHang):
+                    fired |= adapter.fired_fault_ids()
+                    return exceptional and (not target or target <= fired)
+                fired |= adapter.fired_fault_ids()
+            return not exceptional and bool(target) and target <= fired
+
+        if not still_fails(report.statements):
+            return None  # witness not reproducible by replay; keep as-is
+        return reduce_statements(list(report.statements), still_fails)
+
+    return reduce_fn

@@ -1,0 +1,87 @@
+"""Periodic fleet progress reporting.
+
+The orchestrator aggregates the latest per-shard snapshots and hands
+them here; this module owns formatting and rate-limiting so campaign
+logic never touches a terminal.  Lines go to stderr by default, keeping
+stdout clean for the rendered result tables.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import TextIO
+
+
+@dataclass
+class ProgressSnapshot:
+    """Fleet-wide counters at one instant."""
+
+    elapsed: float = 0.0
+    workers: int = 1
+    shards_done: int = 0
+    tests: int = 0
+    skipped: int = 0
+    queries_ok: int = 0
+    queries_err: int = 0
+    reports: int = 0
+    unique_reports: int | None = None  # None when no corpus is attached
+
+    @property
+    def tests_per_second(self) -> float:
+        return self.tests / self.elapsed if self.elapsed > 0 else 0.0
+
+    @property
+    def qpt(self) -> float:
+        return self.queries_ok / self.tests if self.tests else 0.0
+
+    @property
+    def dedup_rate(self) -> float | None:
+        """Fraction of reports that were duplicates of a known bug."""
+        if self.unique_reports is None or self.reports == 0:
+            return None
+        return 1.0 - self.unique_reports / self.reports
+
+
+@dataclass
+class ProgressPrinter:
+    """Rate-limited one-line progress renderer."""
+
+    interval: float = 2.0
+    stream: TextIO = field(default_factory=lambda: sys.stderr)
+    _last: float = field(default=0.0, repr=False)
+
+    def maybe_print(self, snap: ProgressSnapshot) -> bool:
+        """Print if at least *interval* seconds passed since the last
+        line; returns whether a line was emitted."""
+        now = time.monotonic()
+        if now - self._last < self.interval:
+            return False
+        self._last = now
+        self.stream.write(format_progress(snap) + "\n")
+        self.stream.flush()
+        return True
+
+    def final(self, snap: ProgressSnapshot) -> None:
+        self.stream.write(format_progress(snap, final=True) + "\n")
+        self.stream.flush()
+
+
+def format_progress(snap: ProgressSnapshot, final: bool = False) -> str:
+    tag = "fleet done" if final else "fleet"
+    parts = [
+        f"[{tag} {snap.elapsed:6.1f}s]",
+        f"{snap.shards_done}/{snap.workers} shards",
+        f"{snap.tests} tests ({snap.tests_per_second:.1f}/s)",
+        f"QPT {snap.qpt:.2f}",
+    ]
+    if snap.unique_reports is not None:
+        dedup = snap.dedup_rate
+        dedup_text = f", dedup {100 * dedup:.0f}%" if dedup is not None else ""
+        parts.append(
+            f"{snap.reports} reports ({snap.unique_reports} unique{dedup_text})"
+        )
+    else:
+        parts.append(f"{snap.reports} reports")
+    return " | ".join(parts)

@@ -45,18 +45,29 @@ class StateGenerator:
         self.create_indexes = create_indexes
         self.create_views = create_views
         self.strict_typing = strict_typing
+        #: Statements that built the current state (successful ones
+        #: only).  Prepending them to a bug report's queries yields a
+        #: self-contained, replayable program -- what the fleet corpus
+        #: persists and the reducer minimizes.
+        self.last_statements: list[str] = []
 
     # -- public -------------------------------------------------------------
 
     def generate(self, adapter: EngineAdapter) -> SchemaInfo:
         """Reset the adapter and build a fresh random state."""
         adapter.reset()
+        self.last_statements = []
         n_tables = self.rng.randint(1, self.max_tables)
         for t in range(n_tables):
             self._create_table(adapter, f"t{t}")
         if self.create_views and self.rng.random() < 0.6:
             self._create_view(adapter, "v0", n_tables)
         return adapter.schema()
+
+    def _exec(self, adapter: EngineAdapter, sql: str) -> None:
+        """Execute one setup statement, recording it on success."""
+        adapter.execute(sql)
+        self.last_statements.append(sql)
 
     # -- pieces -------------------------------------------------------------
 
@@ -76,7 +87,7 @@ class StateGenerator:
             not_null = " NOT NULL" if self.rng.random() < 0.15 else ""
             col_defs.append(f"c{c} {sql_type}{not_null}")
             col_types.append(sql_type)
-        adapter.execute(f"CREATE TABLE {name} ({', '.join(col_defs)})")
+        self._exec(adapter, f"CREATE TABLE {name} ({', '.join(col_defs)})")
 
         n_rows = self.rng.randint(1, self.max_rows)
         rows_sql: list[str] = []
@@ -87,7 +98,7 @@ class StateGenerator:
             ]
             rows_sql.append("(" + ", ".join(values) + ")")
         try:
-            adapter.execute(f"INSERT INTO {name} VALUES {', '.join(rows_sql)}")
+            self._exec(adapter, f"INSERT INTO {name} VALUES {', '.join(rows_sql)}")
         except SqlError:
             # NOT NULL violation etc.; retry once with safe values.
             safe = [
@@ -95,7 +106,7 @@ class StateGenerator:
                 + ", ".join(sql_literal(self._safe_value(t)) for t in col_types)
                 + ")"
             ]
-            adapter.execute(f"INSERT INTO {name} VALUES {', '.join(safe)}")
+            self._exec(adapter, f"INSERT INTO {name} VALUES {', '.join(safe)}")
 
         if self.create_indexes and self.rng.random() < 0.7:
             self._create_index(adapter, name, n_cols)
@@ -134,12 +145,12 @@ class StateGenerator:
         choice = self.rng.random()
         try:
             if choice < 0.5:
-                adapter.execute(f"CREATE INDEX {ix_name} ON {table} ({col})")
+                self._exec(adapter, f"CREATE INDEX {ix_name} ON {table} ({col})")
             elif choice < 0.8:
-                adapter.execute(f"CREATE INDEX {ix_name} ON {table} ({col} > 0)")
+                self._exec(adapter, f"CREATE INDEX {ix_name} ON {table} ({col} > 0)")
             else:
-                adapter.execute(
-                    f"CREATE INDEX {ix_name} ON {table} ({col}) WHERE {col} IS NOT NULL"
+                self._exec(
+                    adapter, f"CREATE INDEX {ix_name} ON {table} ({col}) WHERE {col} IS NOT NULL"
                 )
         except SqlError:
             pass  # e.g. expression indexes unsupported by a dialect
@@ -154,17 +165,17 @@ class StateGenerator:
         choice = self.rng.random()
         try:
             if choice < 0.4:
-                adapter.execute(
-                    f"CREATE VIEW {name} (c0) AS SELECT {col} FROM {table}"
+                self._exec(
+                    adapter, f"CREATE VIEW {name} (c0) AS SELECT {col} FROM {table}"
                 )
             elif choice < 0.7:
-                adapter.execute(
-                    f"CREATE VIEW {name} (c0) AS "
+                self._exec(
+                    adapter, f"CREATE VIEW {name} (c0) AS "
                     f"SELECT AVG({col}) FROM {table} GROUP BY 1 > {col}"
                 )
             else:
-                adapter.execute(
-                    f"CREATE VIEW {name} (c0, c1) AS "
+                self._exec(
+                    adapter, f"CREATE VIEW {name} (c0, c1) AS "
                     f"SELECT {col}, COUNT(*) FROM {table} GROUP BY {col}"
                 )
         except SqlError:

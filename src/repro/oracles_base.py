@@ -26,13 +26,38 @@ from repro.minidb.values import SqlValue, row_sort_key
 
 @dataclass
 class TestReport:
-    """One bug-inducing test case."""
+    """One bug-inducing test case.
+
+    Reports cross process boundaries (fleet workers pickle them onto a
+    result queue) and are persisted to JSONL corpora, so they must stay
+    plain data: strings, lists, and frozensets only.
+    """
 
     oracle: str
     kind: str  # "logic" | "internal error" | "crash" | "hang"
     statements: list[str]
     description: str
     fired_faults: frozenset[str] = frozenset()
+
+    def to_dict(self) -> dict:
+        """JSON-compatible form (used by the fleet bug corpus)."""
+        return {
+            "oracle": self.oracle,
+            "kind": self.kind,
+            "statements": list(self.statements),
+            "description": self.description,
+            "fired_faults": sorted(self.fired_faults),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TestReport":
+        return cls(
+            oracle=data["oracle"],
+            kind=data["kind"],
+            statements=list(data["statements"]),
+            description=data["description"],
+            fired_faults=frozenset(data.get("fired_faults", ())),
+        )
 
 
 @dataclass

@@ -3,6 +3,7 @@
 from repro.report.tables import (
     render_detection_table,
     render_efficiency_table,
+    render_fleet_table,
     render_maxdepth_series,
     render_table1,
 )
@@ -11,5 +12,6 @@ __all__ = [
     "render_table1",
     "render_detection_table",
     "render_efficiency_table",
+    "render_fleet_table",
     "render_maxdepth_series",
 ]

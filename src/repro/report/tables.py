@@ -96,6 +96,35 @@ def render_efficiency_table(rows: Iterable[Mapping]) -> str:
     return "\n".join(lines)
 
 
+def render_fleet_table(shards: Iterable, merged) -> str:
+    """Per-shard and merged stats of a fleet run.
+
+    *shards* is a list of :class:`~repro.runner.campaign.CampaignStats`
+    in shard order; *merged* is their fleet-wide merge (plans as
+    set-union, coverage as max, QPT recomputed from merged counters).
+    """
+    header = (
+        f"{'Shard':8s} {'#tests':>8s} {'#skip':>7s} {'#ok q':>9s} "
+        f"{'#err q':>8s} {'QPT':>6s} {'plans':>7s} {'reports':>8s} "
+        f"{'tests/s':>9s}"
+    )
+    lines = [header, "-" * len(header)]
+
+    def row(label: str, stats) -> str:
+        return (
+            f"{label:8s} {stats.tests:>8d} {stats.skipped:>7d} "
+            f"{stats.queries_ok:>9d} {stats.queries_err:>8d} "
+            f"{stats.qpt:>6.2f} {len(stats.unique_plans):>7d} "
+            f"{len(stats.reports):>8d} {stats.tests_per_second:>9.1f}"
+        )
+
+    for i, stats in enumerate(shards):
+        lines.append(row(str(i), stats))
+    lines.append("-" * len(header))
+    lines.append(row("merged", merged))
+    return "\n".join(lines)
+
+
 def render_maxdepth_series(series: Mapping[int, Mapping[str, float]]) -> str:
     """Figures 2-3: MaxDepth sweep (time/query, #tests, unique plans)."""
     header = (

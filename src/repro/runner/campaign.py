@@ -19,6 +19,7 @@ from __future__ import annotations
 import random
 import time
 from dataclasses import dataclass, field
+from typing import Callable, Iterable
 
 from repro.adapters.base import EngineAdapter
 from repro.errors import ReproError, SqlError
@@ -40,6 +41,59 @@ class CampaignStats:
     branch_coverage: float = 0.0
     unique_plans: set[str] = field(default_factory=set)
     reports: list[TestReport] = field(default_factory=list)
+
+    @classmethod
+    def merge(
+        cls,
+        parts: Iterable["CampaignStats"],
+        max_reports: int | None = None,
+    ) -> "CampaignStats":
+        """Combine per-shard stats into fleet-wide stats.
+
+        Counters sum, unique plans union, branch coverage takes the max
+        (each shard observes the same engine code), QPT is recomputed
+        from the merged counters by the :attr:`qpt` property, and
+        ``wall_seconds`` is the max (shards run concurrently).  When
+        *max_reports* is given the merged report list is truncated to
+        it, so a merged campaign honours the same bound as a serial one.
+        """
+        parts = list(parts)
+        names = {p.oracle for p in parts}
+        merged = cls(oracle=names.pop() if len(names) == 1 else "mixed")
+        for part in parts:
+            merged.tests += part.tests
+            merged.skipped += part.skipped
+            merged.queries_ok += part.queries_ok
+            merged.queries_err += part.queries_err
+            merged.states += part.states
+            merged.wall_seconds = max(merged.wall_seconds, part.wall_seconds)
+            merged.branch_coverage = max(
+                merged.branch_coverage, part.branch_coverage
+            )
+            merged.unique_plans |= part.unique_plans
+            merged.reports.extend(part.reports)
+        if max_reports is not None:
+            del merged.reports[max_reports:]
+        return merged
+
+    def signature(self) -> dict:
+        """Deterministic fields only -- everything except wall-clock
+        measurements.  Two campaigns with the same seed and budget must
+        produce equal signatures."""
+        return {
+            "oracle": self.oracle,
+            "tests": self.tests,
+            "skipped": self.skipped,
+            "queries_ok": self.queries_ok,
+            "queries_err": self.queries_err,
+            "states": self.states,
+            "branch_coverage": self.branch_coverage,
+            "unique_plans": sorted(self.unique_plans),
+            "reports": [
+                (r.oracle, r.kind, tuple(r.statements), sorted(r.fired_faults))
+                for r in self.reports
+            ],
+        }
 
     @property
     def qpt(self) -> float:
@@ -81,6 +135,9 @@ class Campaign:
         tests_per_state: int = 25,
         state_gen: StateGenerator | None = None,
         max_reports: int = 1000,
+        max_state_failures: int = 200,
+        should_stop: Callable[[], bool] | None = None,
+        on_progress: Callable[[CampaignStats], None] | None = None,
     ) -> None:
         self.oracle = oracle
         self.adapter = adapter
@@ -90,6 +147,12 @@ class Campaign:
             self.rng, strict_typing=adapter.strict_typing
         )
         self.max_reports = max_reports
+        self.max_state_failures = max_state_failures
+        #: External kill switch, polled with the budget (fleet early-stop).
+        self.should_stop = should_stop
+        #: Called after every batch of tests with the live stats; must not
+        #: mutate them.  Used by the fleet workers to stream progress.
+        self.on_progress = on_progress
         self.stats = CampaignStats(oracle=oracle.name)
 
     def run(
@@ -102,13 +165,29 @@ class Campaign:
         if engine is not None:
             engine.coverage.reset()
         start = time.perf_counter()
+        state_failures = 0
         while True:
+            # Checked here too so that a seconds= budget terminates
+            # promptly even when every state fails or every test skips
+            # (skipped tests never advance stats.tests).
+            if self._budget_done(n_tests, seconds, start):
+                return self._finish(start)
             if not self._new_state():
+                state_failures += 1
+                if state_failures >= self.max_state_failures:
+                    raise ReproError(
+                        f"state generation failed {state_failures} times in "
+                        f"a row; the generator cannot produce a usable state "
+                        f"for adapter {self.adapter.name!r}"
+                    )
                 continue
+            state_failures = 0
             for _ in range(self.tests_per_state):
                 if self._budget_done(n_tests, seconds, start):
                     return self._finish(start)
                 self._one_test()
+            if self.on_progress is not None:
+                self.on_progress(self.stats)
             if self._budget_done(n_tests, seconds, start):
                 return self._finish(start)
 
@@ -120,6 +199,8 @@ class Campaign:
         if n_tests is not None and self.stats.tests >= n_tests:
             return True
         if seconds is not None and time.perf_counter() - start >= seconds:
+            return True
+        if self.should_stop is not None and self.should_stop():
             return True
         return len(self.stats.reports) >= self.max_reports
 
@@ -148,6 +229,12 @@ class Campaign:
         elif outcome.status == "bug":
             self.stats.tests += 1
             if outcome.report is not None:
+                # Prepend the state-building DDL/DML so the persisted
+                # report is a self-contained, replayable program.
+                outcome.report.statements = [
+                    *self.state_gen.last_statements,
+                    *outcome.report.statements,
+                ]
                 self.stats.reports.append(outcome.report)
         else:  # error / skip
             self.stats.skipped += 1

@@ -1,0 +1,139 @@
+"""Bug corpus: fingerprinting, dedup, persistence, resume."""
+
+from repro.fleet import BugCorpus, fingerprint_report, normalize_statement
+from repro.fleet.corpus import CorpusEntry
+from repro.oracles_base import TestReport as Report  # alias: not a test class
+
+
+def make_report(statements=None, kind="logic", faults=("f1",), oracle="coddtest"):
+    return Report(
+        oracle=oracle,
+        kind=kind,
+        statements=list(statements or ["CREATE TABLE t0 (c0 INT)", "SELECT c0 FROM t0"]),
+        description="mismatch: 1 row vs 2 rows",
+        fired_faults=frozenset(faults),
+    )
+
+
+class TestNormalization:
+    def test_whitespace_and_case_insensitive(self):
+        assert normalize_statement("SELECT  *\n FROM t0;") == normalize_statement(
+            "select * from t0"
+        )
+
+    def test_random_index_names_collapse(self):
+        a = normalize_statement("CREATE INDEX ix_t0_123 ON t0 (c0)")
+        b = normalize_statement("CREATE INDEX ix_t0_987 ON t0 (c0)")
+        assert a == b
+        # ...but the indexed table stays part of the identity.
+        c = normalize_statement("CREATE INDEX ix_t1_123 ON t1 (c0)")
+        assert a != c
+
+
+class TestFingerprint:
+    def test_stable_across_cosmetic_differences(self):
+        a = make_report(["SELECT  *  FROM t0"])
+        b = make_report(["select * from t0;"])
+        assert fingerprint_report(a) == fingerprint_report(b)
+
+    def test_oracle_name_is_not_identity(self):
+        # The same witness found by two oracles is one bug.
+        a = make_report(oracle="coddtest")
+        b = make_report(oracle="norec")
+        assert fingerprint_report(a) == fingerprint_report(b)
+
+    def test_kind_statements_and_faults_are_identity(self):
+        base = make_report()
+        assert fingerprint_report(base) != fingerprint_report(
+            make_report(kind="crash")
+        )
+        assert fingerprint_report(base) != fingerprint_report(
+            make_report(statements=["SELECT 1"])
+        )
+        assert fingerprint_report(base) != fingerprint_report(
+            make_report(faults=("f2",))
+        )
+
+
+class TestBugCorpus:
+    def test_add_dedupes(self):
+        corpus = BugCorpus()
+        assert corpus.add(make_report()) is True
+        assert corpus.add(make_report()) is False
+        assert len(corpus) == 1
+        assert corpus.total_seen == 2
+
+    def test_reduce_fn_runs_only_on_first_seen(self):
+        calls = []
+
+        def reduce_fn(report):
+            calls.append(report)
+            return ["SELECT 1"]
+
+        corpus = BugCorpus(reduce_fn=reduce_fn)
+        corpus.add(make_report())
+        corpus.add(make_report())
+        assert len(calls) == 1
+        entry = next(iter(corpus.entries.values()))
+        assert entry.reduced_statements == ["SELECT 1"]
+
+    def test_by_kind(self):
+        corpus = BugCorpus()
+        corpus.add(make_report())
+        corpus.add(make_report(statements=["SELECT 2"], kind="crash"))
+        assert corpus.by_kind == {"logic": 1, "crash": 1}
+
+    def test_jsonl_round_trip(self, tmp_path):
+        path = str(tmp_path / "bugs.jsonl")
+        corpus = BugCorpus(path=path)
+        corpus.add(make_report())
+        corpus.add(make_report(statements=["SELECT 2"]))
+
+        loaded = BugCorpus.open(path)
+        assert len(loaded) == 2
+        assert loaded.entries.keys() == corpus.entries.keys()
+        entry = next(iter(loaded.entries.values()))
+        assert isinstance(entry, CorpusEntry)
+        assert entry.description == "mismatch: 1 row vs 2 rows"
+
+    def test_resume_reports_only_new(self, tmp_path):
+        path = str(tmp_path / "bugs.jsonl")
+        first = BugCorpus.open(path)
+        first.add(make_report())
+        first.save()
+
+        second = BugCorpus.open(path)
+        assert second.add(make_report()) is False  # known from session 1
+        assert second.add(make_report(statements=["SELECT 9"])) is True
+        assert len(second) == 2
+
+    def test_save_persists_times_seen(self, tmp_path):
+        path = str(tmp_path / "bugs.jsonl")
+        corpus = BugCorpus.open(path)
+        corpus.add(make_report())
+        corpus.add(make_report())
+        corpus.save()
+        assert BugCorpus.open(path).total_seen == 2
+
+    def test_fingerprints_are_monotonic_across_sessions(self, tmp_path):
+        path = str(tmp_path / "bugs.jsonl")
+        seen: set[str] = set()
+        for session in range(3):
+            corpus = BugCorpus.open(path)
+            assert seen <= set(corpus.entries)  # nothing ever disappears
+            corpus.add(make_report(statements=[f"SELECT {session}"]))
+            corpus.save()
+            seen = set(corpus.entries)
+        assert len(seen) == 3
+
+    def test_merge_counts_new_entries(self):
+        a = BugCorpus()
+        a.add(make_report())
+        b = BugCorpus()
+        b.add(make_report())
+        b.add(make_report(statements=["SELECT 2"]))
+        assert a.merge(b) == 1
+        assert len(a) == 2
+        # The shared entry's sighting counters accumulate.
+        fp = fingerprint_report(make_report())
+        assert a.entries[fp].times_seen == 2

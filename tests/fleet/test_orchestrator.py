@@ -1,0 +1,225 @@
+"""Fleet orchestration: serial equivalence, determinism, merging,
+early stop, corpus integration, and end-to-end resume."""
+
+import pytest
+
+from repro import (
+    BugCorpus,
+    CoddTestOracle,
+    FleetConfig,
+    MiniDBAdapter,
+    make_engine,
+    make_replay_reducer,
+    run_campaign,
+    run_fleet,
+)
+from repro.errors import (
+    EngineCrash,
+    EngineHang,
+    InternalError,
+    SqlError,
+)
+from repro.fleet import build_shards
+
+
+def fleet_config(**kwargs) -> FleetConfig:
+    defaults = dict(
+        oracle="coddtest", dialect="sqlite", buggy=True, n_tests=150, seed=5
+    )
+    defaults.update(kwargs)
+    return FleetConfig(**defaults)
+
+
+class TestConfigValidation:
+    def test_requires_budget(self):
+        with pytest.raises(ValueError):
+            FleetConfig(n_tests=None, seconds=None)
+
+    def test_rejects_unknown_oracle(self):
+        with pytest.raises(ValueError):
+            FleetConfig(oracle="nope", n_tests=10)
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValueError):
+            FleetConfig(workers=0, n_tests=10)
+
+
+class TestBuildShards:
+    def test_single_worker_keeps_seed_and_budget(self):
+        shards = build_shards(fleet_config(workers=1, n_tests=100, seed=9))
+        assert len(shards) == 1
+        assert shards[0].seed == 9
+        assert shards[0].n_tests == 100
+
+    def test_budget_split_sums(self):
+        shards = build_shards(fleet_config(workers=3, n_tests=100))
+        assert sum(s.n_tests for s in shards) == 100
+
+
+class TestSerialEquivalence:
+    def test_one_worker_fleet_matches_serial_campaign(self):
+        adapter = MiniDBAdapter(make_engine("sqlite", with_catalog_faults=True))
+        serial = run_campaign(
+            CoddTestOracle(), adapter, n_tests=150, seed=5
+        )
+        fleet = run_fleet(fleet_config(workers=1))
+        assert fleet.merged.signature() == serial.signature()
+
+
+class TestMultiWorker:
+    def test_same_seed_same_workers_is_deterministic(self):
+        a = run_fleet(fleet_config(workers=2, n_tests=200))
+        b = run_fleet(fleet_config(workers=2, n_tests=200))
+        assert a.merged.signature() == b.merged.signature()
+
+    def test_merged_counters_are_shard_sums(self):
+        result = run_fleet(fleet_config(workers=2, n_tests=200))
+        assert result.merged.tests == 200
+        assert result.merged.tests == sum(s.tests for s in result.shards)
+        assert result.merged.queries_ok == sum(
+            s.queries_ok for s in result.shards
+        )
+        union = set()
+        for shard in result.shards:
+            union |= shard.unique_plans
+        assert result.merged.unique_plans == union
+
+    def test_fleet_wide_max_reports_bounds_merge(self):
+        result = run_fleet(
+            fleet_config(workers=2, n_tests=4000, max_reports=6)
+        )
+        assert len(result.merged.reports) <= 6
+
+    def test_worker_failure_streams_error_not_hang(self):
+        # A spec whose oracle cannot even be constructed must come back
+        # over the queue as an error message, not kill the pool.
+        import multiprocessing
+
+        from repro.fleet import ShardSpec
+        from repro.fleet import orchestrator as orch
+
+        ctx = multiprocessing.get_context()
+        q = ctx.Queue()
+        ev = ctx.Event()
+        spec = ShardSpec(
+            shard_index=0,
+            workers=2,
+            seed=1,
+            n_tests=10,
+            seconds=None,
+            oracle="coddtest",
+            oracle_kwargs={"no_such_kwarg": True},
+            dialect="sqlite",
+        )
+        orch._worker_main(spec, q, ev)
+        kind, idx, payload = q.get(timeout=5)
+        assert kind == "error"
+        assert idx == 0
+        assert "no_such_kwarg" in payload
+
+
+class TestCorpusIntegration:
+    def test_dedup_across_shards_and_runs(self):
+        config = fleet_config(workers=2, n_tests=300)
+        corpus = BugCorpus()
+        first = run_fleet(config, corpus=corpus)
+        assert len(first.merged.reports) > 0
+        unique_after_first = len(corpus)
+        assert unique_after_first <= len(first.merged.reports)
+        assert len(first.new_fingerprints) == unique_after_first
+
+        # Same fleet again: every report is already fingerprinted.
+        second = run_fleet(config, corpus=corpus)
+        assert second.new_fingerprints == []
+        assert second.duplicate_reports == len(second.merged.reports)
+        assert len(corpus) == unique_after_first  # monotonic, no growth
+
+    def test_checkpoint_resume_round_trip(self, tmp_path):
+        path = str(tmp_path / "bugs.jsonl")
+        config = fleet_config(workers=2, n_tests=300)
+
+        corpus = BugCorpus.open(path)
+        first = run_fleet(config, corpus=corpus)
+        corpus.save()
+        assert len(first.new_fingerprints) > 0
+
+        resumed = BugCorpus.open(path)
+        assert set(resumed.entries) == set(corpus.entries)
+        second = run_fleet(config, corpus=resumed)
+        assert second.new_fingerprints == []
+        resumed.save()
+        assert set(BugCorpus.open(path).entries) == set(corpus.entries)
+
+    def test_replay_reducer_minimizes_first_seen(self):
+        config = fleet_config(workers=1, n_tests=300)
+        corpus = BugCorpus(reduce_fn=make_replay_reducer(config))
+        run_fleet(config, corpus=corpus)
+        assert len(corpus) > 0
+        reduced = [
+            e for e in corpus.entries.values() if e.reduced_statements
+        ]
+        assert reduced, "expected at least one reducible bug"
+        for entry in reduced:
+            assert len(entry.reduced_statements) <= len(entry.statements)
+
+    def test_reducer_unavailable_for_real_dbms(self):
+        config = FleetConfig(adapter="sqlite3", n_tests=10)
+        assert make_replay_reducer(config) is None
+
+
+class TestCorpusSink:
+    def test_streams_reports_without_double_counting(self):
+        # The sink absorbs reports as progress messages arrive and only
+        # the remainder when the shard's final stats land -- this is
+        # what makes an interrupted fleet keep its bugs.
+        from repro.fleet.orchestrator import _CorpusSink
+        from repro.oracles_base import TestReport
+        from repro.runner.campaign import CampaignStats
+
+        def report(i):
+            return TestReport(
+                oracle="coddtest",
+                kind="logic",
+                statements=[f"SELECT {i}"],
+                description="d",
+            )
+
+        corpus = BugCorpus()
+        sink = _CorpusSink(corpus)
+        reports = [report(i) for i in range(5)]
+        sink.absorb(0, reports[:2])  # first progress message
+        sink.absorb(0, reports[2:4])  # second progress message
+        final = CampaignStats(oracle="coddtest", reports=reports)
+        sink.absorb_remainder(0, final)  # only reports[4] is new
+        assert len(corpus) == 5
+        assert sink.duplicates == 0
+        assert len(sink.new_fingerprints) == 5
+
+    def test_no_corpus_is_a_noop(self):
+        from repro.fleet.orchestrator import _CorpusSink
+        from repro.runner.campaign import CampaignStats
+
+        sink = _CorpusSink(None)
+        sink.absorb_remainder(0, CampaignStats(oracle="coddtest"))
+        assert sink.unique is None
+        assert sink.new_fingerprints == []
+
+
+class TestReportsAreReplayable:
+    def test_report_statements_rebuild_their_state(self):
+        # The corpus persists reports as standalone programs: replaying
+        # the statement list on a fresh engine must not hit missing
+        # tables (ground-truth faults may legitimately fire).
+        result = run_fleet(fleet_config(workers=1, n_tests=300))
+        assert result.merged.reports
+        for report in result.merged.reports[:5]:
+            adapter = MiniDBAdapter(
+                make_engine("sqlite", with_catalog_faults=True)
+            )
+            for sql in report.statements:
+                try:
+                    adapter.execute(sql)
+                except (InternalError, EngineCrash, EngineHang):
+                    break  # the injected bug fired: expected
+                except SqlError as exc:  # pragma: no cover - failure path
+                    pytest.fail(f"report not self-contained: {sql!r}: {exc}")

@@ -56,6 +56,148 @@ class TestCampaign:
         if stats.reports:
             assert stats.bug_reports_by_kind.get("internal error", 0) >= 1
 
+    def test_reports_are_self_contained_programs(self):
+        # Bug reports prepend the state-building DDL/DML, so the first
+        # statement of every report creates rather than queries.
+        fault = FAULTS_BY_ID["sqlite_view_join_where"]
+        adapter = MiniDBAdapter(make_engine("sqlite", faults=[fault]))
+        stats = run_campaign(CoddTestOracle(), adapter, n_tests=400, seed=5)
+        assert stats.reports
+        for report in stats.reports:
+            assert report.statements[0].upper().startswith("CREATE TABLE")
+
+    def test_state_generation_failure_is_bounded(self):
+        from repro.adapters.base import EngineAdapter, ExecResult, SchemaInfo
+        from repro.errors import ReproError, SqlError
+
+        class BrokenAdapter(EngineAdapter):
+            name = "broken"
+
+            def execute(self, sql):
+                raise SqlError("nothing works")
+
+            def schema(self):
+                return SchemaInfo()
+
+            def reset(self):
+                pass
+
+        campaign = Campaign(
+            CoddTestOracle(), BrokenAdapter(), max_state_failures=25
+        )
+        with pytest.raises(ReproError, match="25 times in a row"):
+            campaign.run(n_tests=10)
+
+    def test_external_stop_hook_ends_campaign(self):
+        adapter = MiniDBAdapter(make_engine("sqlite"))
+        calls = {"n": 0}
+
+        def should_stop():
+            calls["n"] += 1
+            return calls["n"] > 3
+
+        campaign = Campaign(
+            CoddTestOracle(), adapter, should_stop=should_stop
+        )
+        stats = campaign.run(n_tests=100000)
+        assert stats.tests < 100000
+
+    def test_progress_hook_sees_live_stats(self):
+        adapter = MiniDBAdapter(make_engine("sqlite"))
+        seen = []
+        campaign = Campaign(
+            CoddTestOracle(), adapter, on_progress=lambda s: seen.append(s.tests)
+        )
+        campaign.run(n_tests=60)
+        assert seen and seen == sorted(seen)
+
+
+class TestCampaignStatsMerge:
+    def _stats(self, **kwargs):
+        from repro.runner.campaign import CampaignStats
+
+        defaults = dict(oracle="coddtest")
+        defaults.update(kwargs)
+        return CampaignStats(**defaults)
+
+    def test_counters_sum_and_plans_union(self):
+        from repro.oracles_base import TestReport
+
+        a = self._stats(
+            tests=10,
+            queries_ok=30,
+            unique_plans={"p1", "p2"},
+            branch_coverage=0.5,
+            wall_seconds=2.0,
+        )
+        b = self._stats(
+            tests=5,
+            queries_ok=10,
+            unique_plans={"p2", "p3"},
+            branch_coverage=0.7,
+            wall_seconds=3.0,
+        )
+        from repro.runner.campaign import CampaignStats
+
+        merged = CampaignStats.merge([a, b])
+        assert merged.tests == 15
+        assert merged.queries_ok == 40
+        assert merged.unique_plans == {"p1", "p2", "p3"}
+        assert merged.branch_coverage == 0.7  # max, not sum
+        assert merged.wall_seconds == 3.0  # concurrent shards: max
+        assert merged.qpt == pytest.approx(40 / 15)  # recomputed
+
+    def test_merge_respects_max_reports(self):
+        from repro.oracles_base import TestReport
+        from repro.runner.campaign import CampaignStats
+
+        def report(i):
+            return TestReport(
+                oracle="coddtest",
+                kind="logic",
+                statements=[f"SELECT {i}"],
+                description="d",
+            )
+
+        a = self._stats(reports=[report(i) for i in range(4)])
+        b = self._stats(reports=[report(i) for i in range(4, 8)])
+        merged = CampaignStats.merge([a, b], max_reports=5)
+        assert len(merged.reports) == 5
+        # Shard order preserved: a's reports come first.
+        assert merged.reports[0].statements == ["SELECT 0"]
+
+    def test_mixed_oracles_are_labelled(self):
+        from repro.runner.campaign import CampaignStats
+
+        merged = CampaignStats.merge(
+            [self._stats(oracle="coddtest"), self._stats(oracle="norec")]
+        )
+        assert merged.oracle == "mixed"
+
+    def test_seconds_budget_with_only_skips_terminates(self):
+        # A campaign whose every test is skipped must still honour the
+        # wall-clock budget (skips never advance stats.tests).
+        import time
+
+        from repro.oracles_base import Oracle
+
+        class SkipOracle(Oracle):
+            name = "skip"
+
+            def check_once(self):
+                from repro.oracles_base import OracleSkip
+
+                raise OracleSkip()
+
+        adapter = MiniDBAdapter(make_engine("sqlite"))
+        campaign = Campaign(SkipOracle(), adapter)
+        start = time.perf_counter()
+        stats = campaign.run(seconds=0.5)
+        elapsed = time.perf_counter() - start
+        assert stats.tests == 0
+        assert stats.skipped > 0
+        assert elapsed < 5.0
+
 
 class TestDetectsFault:
     def test_coddtest_detects_its_fault(self):

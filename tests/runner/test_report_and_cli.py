@@ -4,6 +4,7 @@ from repro.cli import main as cli_main
 from repro.report import (
     render_detection_table,
     render_efficiency_table,
+    render_fleet_table,
     render_maxdepth_series,
     render_table1,
 )
@@ -69,6 +70,32 @@ class TestRenderOtherTables:
         )
         assert "MaxDepth" in text and "10.0" in text
 
+    def test_fleet_table(self):
+        from repro.runner.campaign import CampaignStats
+
+        shards = [
+            CampaignStats(
+                oracle="coddtest",
+                tests=100,
+                queries_ok=300,
+                wall_seconds=2.0,
+                unique_plans={"a"},
+            ),
+            CampaignStats(
+                oracle="coddtest",
+                tests=100,
+                queries_ok=320,
+                wall_seconds=2.0,
+                unique_plans={"b"},
+            ),
+        ]
+        merged = CampaignStats.merge(shards)
+        text = render_fleet_table(shards, merged)
+        assert "merged" in text
+        assert text.count("\n") >= 4
+        last = text.splitlines()[-1].split()
+        assert last[0] == "merged" and last[1] == "200"
+
 
 class TestCli:
     def test_hunt_buggy(self, capsys):
@@ -101,3 +128,41 @@ class TestCli:
         rc = cli_main(["hunt", "--oracle", "norec", "--tests", "40"])
         assert rc == 0
         assert "norec" in capsys.readouterr().out
+
+    def test_hunt_accepts_workers(self, capsys):
+        rc = cli_main(
+            ["hunt", "--tests", "40", "--workers", "2", "--buggy", "--seed", "3"]
+        )
+        assert rc == 0
+        assert "tests" in capsys.readouterr().out
+
+
+class TestFleetCli:
+    def test_fleet_single_worker(self, capsys):
+        rc = cli_main(
+            ["fleet", "--tests", "60", "--buggy", "--quiet", "--seed", "3"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "merged" in out
+        assert "bug corpus:" in out
+
+    def test_fleet_multi_worker_with_corpus_resume(self, tmp_path, capsys):
+        corpus = str(tmp_path / "bugs.jsonl")
+        argv = [
+            "fleet",
+            "--tests", "200",
+            "--workers", "2",
+            "--buggy",
+            "--seed", "3",
+            "--quiet",
+            "--corpus", corpus,
+        ]
+        assert cli_main(argv) == 0
+        first = capsys.readouterr().out
+        assert "corpus saved" in first
+
+        # Second invocation resumes: everything is a known duplicate.
+        assert cli_main(argv) == 0
+        second = capsys.readouterr().out
+        assert "0 new unique" in second
