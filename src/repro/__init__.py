@@ -16,6 +16,13 @@ from repro.adapters import MiniDBAdapter, Sqlite3Adapter
 from repro.baselines import DQEOracle, EETOracle, NoRECOracle, TLPOracle
 from repro.core import CoddTestOracle
 from repro.dialects import ALL_FAULTS, LOGIC_FAULTS, get_dialect, make_engine
+from repro.differential import (
+    CompatPolicy,
+    DifferentialAdapter,
+    DifferentialOracle,
+    build_pair_adapter,
+    run_differential_campaign,
+)
 from repro.fleet import (
     BugCorpus,
     FleetConfig,
@@ -42,6 +49,11 @@ __all__ = [
     "TLPOracle",
     "DQEOracle",
     "EETOracle",
+    "DifferentialOracle",
+    "DifferentialAdapter",
+    "CompatPolicy",
+    "build_pair_adapter",
+    "run_differential_campaign",
     "Oracle",
     "TestOutcome",
     "TestReport",

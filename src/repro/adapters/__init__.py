@@ -8,6 +8,7 @@ DBMS family) and for the real SQLite via the stdlib ``sqlite3`` module.
 
 from repro.adapters.base import EngineAdapter, SchemaInfo, TableInfo, ColumnInfo
 from repro.adapters.minidb_adapter import MiniDBAdapter
+from repro.adapters.sql_text import is_row_returning, statement_kind
 from repro.adapters.sqlite3_adapter import Sqlite3Adapter
 
 __all__ = [
@@ -17,4 +18,6 @@ __all__ = [
     "ColumnInfo",
     "MiniDBAdapter",
     "Sqlite3Adapter",
+    "is_row_returning",
+    "statement_kind",
 ]

@@ -66,6 +66,10 @@ class EngineAdapter(abc.ABC):
     #: Dialect knobs the oracles consult (paper Section 3.3).
     supports_any_all: bool = True
     strict_typing: bool = False
+    #: Generators must restrict themselves to constructs whose semantics
+    #: coincide across engines (set by differential pair adapters, which
+    #: compare results between two backends).
+    portable_generation: bool = False
 
     @abc.abstractmethod
     def execute(self, sql: str) -> ExecResult:

@@ -1,0 +1,86 @@
+"""Lightweight, dialect-agnostic SQL text classification.
+
+Adapters and the differential layer need to know *what kind* of
+statement a SQL string is without parsing it (the string may target a
+real DBMS whose grammar MiniDB does not implement).  Keyword sniffing
+on the raw text is not enough: statements may start with comments or a
+parenthesized SELECT, so the helpers here first strip leading trivia.
+"""
+
+from __future__ import annotations
+
+#: Statement kinds returned by :func:`statement_kind`.
+KIND_SELECT = "select"  # row-returning: SELECT / WITH / VALUES / (SELECT ...)
+KIND_WRITE = "write"  # INSERT / UPDATE / DELETE / REPLACE
+KIND_INDEX = "index"  # CREATE [UNIQUE] INDEX
+KIND_DDL = "ddl"  # other schema changes (CREATE TABLE/VIEW, DROP, ALTER)
+KIND_OTHER = "other"  # anything else (PRAGMA, BEGIN, unknown)
+
+_WRITE_KEYWORDS = ("INSERT", "UPDATE", "DELETE", "REPLACE")
+_DDL_KEYWORDS = ("CREATE", "DROP", "ALTER")
+
+
+def strip_leading_trivia(sql: str) -> str:
+    """Drop leading whitespace, ``--`` line comments, ``/* */`` block
+    comments, and redundant opening parentheses from *sql*.
+
+    Generated programs routinely carry explanatory ``--`` headers, and
+    several dialects accept parenthesized selects (compound-query
+    arms), so statement-kind detection must see through both.
+    """
+    i = 0
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch.isspace() or ch == "(":
+            i += 1
+        elif sql.startswith("--", i):
+            end = sql.find("\n", i)
+            i = n if end == -1 else end + 1
+        elif sql.startswith("/*", i):
+            end = sql.find("*/", i + 2)
+            i = n if end == -1 else end + 2
+        else:
+            break
+    return sql[i:]
+
+
+def _leading_keyword(sql: str) -> str:
+    text = strip_leading_trivia(sql)
+    word = []
+    for ch in text:
+        if ch.isalpha() or ch == "_":
+            word.append(ch)
+        else:
+            break
+    return "".join(word).upper()
+
+
+def statement_kind(sql: str) -> str:
+    """Classify *sql* by its first meaningful keyword.
+
+    Used by adapters to decide whether a statement returns rows (and so
+    deserves a plan fingerprint) and by the differential layer to
+    decide how a one-sided failure must be handled: a failed
+    ``KIND_SELECT`` is harmless, a failed ``KIND_INDEX`` only perturbs
+    plans, while a failed ``KIND_WRITE``/``KIND_DDL`` desynchronizes
+    database states.
+    """
+    keyword = _leading_keyword(sql)
+    if keyword in ("SELECT", "WITH", "VALUES"):
+        return KIND_SELECT
+    if keyword in _WRITE_KEYWORDS:
+        return KIND_WRITE
+    if keyword in _DDL_KEYWORDS:
+        rest = strip_leading_trivia(sql)[len(keyword):].lstrip().upper()
+        if keyword == "CREATE" and (
+            rest.startswith("INDEX") or rest.startswith("UNIQUE INDEX")
+        ):
+            return KIND_INDEX
+        return KIND_DDL
+    return KIND_OTHER
+
+
+def is_row_returning(sql: str) -> bool:
+    """True when the statement produces a result set to compare."""
+    return statement_kind(sql) == KIND_SELECT

@@ -18,6 +18,7 @@ from repro.adapters.base import (
     SchemaInfo,
     TableInfo,
 )
+from repro.adapters.sql_text import is_row_returning
 from repro.errors import SqlError
 from repro.minidb.catalog import resolve_type_name
 
@@ -35,8 +36,10 @@ class Sqlite3Adapter(EngineAdapter):
     def execute(self, sql: str) -> ExecResult:
         fingerprint = None
         try:
-            upper = sql.lstrip().upper()
-            if upper.startswith("SELECT") or upper.startswith("WITH"):
+            # Robust statement-kind detection: leading comments,
+            # parenthesized selects, VALUES clauses, and lowercase
+            # keywords all still yield a plan fingerprint.
+            if is_row_returning(sql):
                 fingerprint = self._explain(sql)
             cursor = self._conn.execute(sql)
             rows = [tuple(self._convert(v) for v in row) for row in cursor.fetchall()]

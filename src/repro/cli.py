@@ -4,6 +4,7 @@ Subcommands::
 
     coddtest hunt     --dialect sqlite --tests 1000 [--buggy] [--oracle coddtest] [--workers N]
     coddtest fleet    --workers 4 --tests 2000 [--corpus bugs.jsonl]
+    coddtest diff     --backends minidb,sqlite3 --tests 500 [--workers N] [--corpus out.jsonl]
     coddtest compare  --tests 400 [--workers N]  # per-oracle detection counts
     coddtest sqlite3  --tests 200                # run against the real SQLite
 
@@ -30,6 +31,11 @@ from repro.fleet import (
     run_fleet,
 )
 from repro.fleet.orchestrator import ORACLE_FACTORIES as ORACLES
+
+#: Oracles usable against a single backend (``hunt``/``fleet``/
+#: ``compare``); the differential oracle needs a backend pair and has
+#: its own ``diff`` subcommand.
+SINGLE_ENGINE_ORACLES = sorted(n for n in ORACLES if n != "differential")
 from repro.report import render_fleet_table
 from repro.runner import run_campaign
 
@@ -75,6 +81,53 @@ def main(argv: list[str] | None = None) -> int:
         "--quiet", action="store_true", help="suppress progress lines"
     )
 
+    diff = sub.add_parser(
+        "diff",
+        help="differential campaign: replay generated states and "
+        "queries against two backends and report divergences",
+    )
+    diff.add_argument(
+        "--backends",
+        default="minidb,sqlite3",
+        metavar="PRIMARY,SECONDARY",
+        help="comma-separated backend pair; the first is the engine "
+        "under test (receives --buggy faults), the second the trusted "
+        "reference (default: minidb,sqlite3)",
+    )
+    diff.add_argument(
+        "--dialect",
+        choices=sorted(PROFILES),
+        default="sqlite",
+        help="MiniDB profile for minidb backends",
+    )
+    diff.add_argument("--tests", type=int, default=None)
+    diff.add_argument("--seed", type=int, default=0)
+    diff.add_argument("--workers", type=int, default=1)
+    diff.add_argument(
+        "--buggy",
+        action="store_true",
+        help="seed the primary's injected fault catalog",
+    )
+    diff.add_argument(
+        "--seconds",
+        type=float,
+        default=None,
+        help="wall-clock budget per shard (default when --tests is "
+        "omitted: 500 tests)",
+    )
+    diff.add_argument(
+        "--corpus",
+        default=None,
+        metavar="PATH",
+        help="JSONL bug corpus: resumed if it exists, new bugs appended",
+    )
+    diff.add_argument(
+        "--max-reports", type=int, default=1000, dest="max_reports"
+    )
+    diff.add_argument(
+        "--quiet", action="store_true", help="suppress progress lines"
+    )
+
     compare = sub.add_parser("compare", help="compare oracle throughput")
     compare.add_argument("--tests", type=int, default=400)
     compare.add_argument("--dialect", choices=sorted(PROFILES), default="sqlite")
@@ -92,6 +145,8 @@ def main(argv: list[str] | None = None) -> int:
             return _hunt(args)
         if args.command == "fleet":
             return _fleet(args)
+        if args.command == "diff":
+            return _diff(args)
         if args.command == "compare":
             return _compare(args)
         return _sqlite3(args)
@@ -106,7 +161,7 @@ def _add_campaign_args(sub_parser, default_tests: int | None) -> None:
         "--dialect", choices=sorted(PROFILES), default="sqlite"
     )
     sub_parser.add_argument(
-        "--oracle", choices=sorted(ORACLES), default="coddtest"
+        "--oracle", choices=SINGLE_ENGINE_ORACLES, default="coddtest"
     )
     sub_parser.add_argument("--tests", type=int, default=default_tests)
     sub_parser.add_argument("--seed", type=int, default=0)
@@ -163,15 +218,7 @@ def _fleet(args) -> int:
         max_reports=args.max_reports,
     )
     reduce_fn = None if args.no_reduce else make_replay_reducer(config)
-    if args.corpus:
-        corpus = BugCorpus.open(args.corpus, reduce_fn=reduce_fn)
-        # Fail fast on an unwritable path -- not after a long campaign.
-        with open(args.corpus, "a", encoding="utf-8"):
-            pass
-        known_before = len(corpus)
-    else:
-        corpus = BugCorpus(reduce_fn=reduce_fn)
-        known_before = 0
+    corpus, known_before = _open_corpus(args.corpus, reduce_fn)
     printer = None if args.quiet else ProgressPrinter()
 
     result = run_fleet(config, corpus=corpus, printer=printer)
@@ -191,23 +238,112 @@ def _fleet(args) -> int:
     if args.corpus:
         corpus.save()
         print(f"corpus saved to {args.corpus}")
-    new = set(result.new_fingerprints)
+    _print_new_entries(corpus, set(result.new_fingerprints), cap=5, noun="bugs")
+    return 0
+
+
+def _open_corpus(path, reduce_fn=None) -> "tuple[BugCorpus, int]":
+    """Open (or create) the JSONL corpus at *path*; None means an
+    in-memory corpus.  Returns it with the number of already-known
+    bugs."""
+    if not path:
+        return BugCorpus(reduce_fn=reduce_fn), 0
+    corpus = BugCorpus.open(path, reduce_fn=reduce_fn)
+    # Fail fast on an unwritable path -- not after a long campaign.
+    with open(path, "a", encoding="utf-8"):
+        pass
+    return corpus, len(corpus)
+
+
+def _print_new_entries(
+    corpus: BugCorpus,
+    new: set,
+    cap: int,
+    noun: str,
+    with_description: bool = False,
+) -> None:
+    """Show up to *cap* of this run's newly fingerprinted entries."""
     shown = 0
     for entry in corpus.entries.values():
         if entry.fingerprint not in new:
             continue
-        if shown >= 5:
-            print(f"\n... and {len(new) - shown} more new bugs")
+        if shown >= cap:
+            print(f"\n... and {len(new) - shown} more new {noun}")
             break
         shown += 1
         print(f"\n[{entry.kind}] {entry.fingerprint} ({entry.oracle})")
+        if with_description:
+            print(f"  {entry.description}")
         for sql in entry.reduced_statements or entry.statements:
             print(f"  {sql}")
+
+
+def _diff(args) -> int:
+    pair = tuple(b.strip() for b in args.backends.split(",") if b.strip())
+    if len(pair) != 2:
+        print(
+            f"coddtest: error: --backends expects two comma-separated "
+            f"names, got {args.backends!r}",
+            file=sys.stderr,
+        )
+        return 2
+    n_tests = args.tests
+    if n_tests is None and args.seconds is None:
+        n_tests = 500
+    config = FleetConfig(
+        oracle="differential",
+        backend_pair=pair,
+        dialect=args.dialect,
+        buggy=args.buggy,
+        workers=args.workers,
+        seed=args.seed,
+        n_tests=n_tests,
+        seconds=args.seconds,
+        max_reports=args.max_reports,
+    )
+    corpus, known_before = _open_corpus(args.corpus)
+    printer = None if args.quiet else ProgressPrinter()
+
+    result = run_fleet(config, corpus=corpus, printer=printer)
+    stats = result.merged
+
+    print(render_fleet_table(result.shards, stats))
+    print(
+        f"\ndifferential {pair[0]} vs {pair[1]}: {stats.tests} tests, "
+        f"{stats.skipped} skipped, {len(stats.unique_plans)} unique "
+        f"primary plans, {result.wall_seconds:.1f}s wall across "
+        f"{config.workers} worker(s)"
+    )
+    print(
+        f"divergences: {len(stats.reports)} report(s) -> "
+        f"{len(result.new_fingerprints)} new unique, "
+        f"{result.duplicate_reports} duplicates "
+        f"({known_before} known before, {len(corpus)} total)"
+    )
+    if stats.detected_fault_ids:
+        print("distinct injected bugs implicated:")
+        for fid in sorted(stats.detected_fault_ids):
+            print(f"  - {fid}")
+    if args.corpus:
+        corpus.save()
+        print(f"corpus saved to {args.corpus}")
+    _print_new_entries(
+        corpus,
+        set(result.new_fingerprints),
+        cap=3,
+        noun="divergences",
+        with_description=True,
+    )
+    # Without injected faults every divergence is unexpected -- either
+    # a real engine drift or a generator portability hole -- so signal
+    # it in the exit code (this is what lets CI smoke runs fail).
+    if stats.reports and not args.buggy:
+        return 1
     return 0
 
 
 def _compare(args) -> int:
-    for name in ORACLES:
+    for name in SINGLE_ENGINE_ORACLES:
         config = FleetConfig(
             oracle=name,
             dialect=args.dialect,

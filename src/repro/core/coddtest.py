@@ -27,7 +27,11 @@ from repro.core.folding import (
 )
 from repro.core.relations import RelationFolder
 from repro.generator.expr_gen import ExprGenerator, GenExpr
-from repro.generator.query_gen import FromSkeleton, QueryGenerator
+from repro.generator.query_gen import (
+    FromSkeleton,
+    QueryGenerator,
+    replace_join_on,
+)
 from repro.minidb import ast_nodes as A
 from repro.oracles_base import Oracle, OracleSkip, TestReport, rows_equal
 
@@ -192,26 +196,9 @@ class CoddTestOracle(Oracle):
                 skeleton, having=predicate, group_col=group_col
             )
         if placement == "join_on":
-            new_ref = _replace_on(skeleton.ref, skeleton.on_join, predicate)
+            new_ref = replace_join_on(skeleton.ref, skeleton.on_join, predicate)
             skeleton = dataclasses.replace(skeleton, ref=new_ref)
             predicate = None  # type: ignore[assignment]
         if kind == "count":
             return self.query_gen.count_query(skeleton, predicate)
         return self.query_gen.star_query(skeleton, predicate)
-
-
-def _replace_on(
-    ref: A.TableRef, target: A.Join | None, predicate: A.Expr
-) -> A.TableRef:
-    """Rebuild a FROM tree with *target*'s ON clause replaced."""
-    if isinstance(ref, A.Join):
-        if ref is target:
-            kind = "INNER" if ref.kind == "CROSS" else ref.kind
-            return A.Join(kind, ref.left, ref.right, predicate)
-        return A.Join(
-            ref.kind,
-            _replace_on(ref.left, target, predicate),
-            _replace_on(ref.right, target, predicate),
-            ref.on,
-        )
-    return ref

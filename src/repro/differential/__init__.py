@@ -1,0 +1,75 @@
+"""Cross-backend differential testing (MiniDB profile vs. real SQLite).
+
+The three layers:
+
+* :mod:`repro.differential.compat` -- the dialect intersection of a
+  backend pair plus per-pair statement translation/skip rules,
+* :mod:`repro.differential.pair` -- :class:`DifferentialAdapter`, a tee
+  adapter that executes every statement on both backends and raises
+  :class:`~repro.errors.DifferentialMismatch` when canonical result
+  sets diverge,
+* :mod:`repro.differential.oracle` -- :class:`DifferentialOracle`,
+  generating portable queries and reporting divergences as bugs.
+
+``coddtest diff --backends minidb,sqlite3`` runs this stack sharded
+over the fleet orchestrator.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.adapters.base import EngineAdapter
+from repro.differential.compat import (
+    BackendCaps,
+    CompatPolicy,
+    CompatSkip,
+    capabilities,
+)
+from repro.differential.oracle import (
+    BACKEND_NAMES,
+    DifferentialOracle,
+    build_backend,
+    build_pair_adapter,
+)
+from repro.differential.pair import DifferentialAdapter
+from repro.runner.campaign import Campaign, CampaignStats
+
+
+def run_differential_campaign(
+    factory_pair: "tuple[Callable[[], EngineAdapter], Callable[[], EngineAdapter]]",
+    *,
+    n_tests: int | None = None,
+    seconds: float | None = None,
+    seed: int = 0,
+    tests_per_state: int = 25,
+    max_reports: int = 1000,
+) -> CampaignStats:
+    """Serial differential campaign from an adapter *factory pair*.
+
+    The factories build the primary (under test) and secondary
+    (reference) adapters; everything else matches
+    :func:`repro.runner.campaign.run_campaign`.
+    """
+    campaign = Campaign.from_adapter_factories(
+        DifferentialOracle(),
+        factory_pair,
+        seed=seed,
+        tests_per_state=tests_per_state,
+        max_reports=max_reports,
+    )
+    return campaign.run(n_tests=n_tests, seconds=seconds)
+
+
+__all__ = [
+    "BACKEND_NAMES",
+    "BackendCaps",
+    "CompatPolicy",
+    "CompatSkip",
+    "DifferentialAdapter",
+    "DifferentialOracle",
+    "build_backend",
+    "build_pair_adapter",
+    "capabilities",
+    "run_differential_campaign",
+]

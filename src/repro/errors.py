@@ -59,6 +59,31 @@ class UnsupportedError(SqlError):
     in the SQLite/DuckDB-like profiles, paper Section 3.3)."""
 
 
+class StateDesyncError(SqlError):
+    """A differential pair's databases can no longer be assumed equal
+    (a data-affecting statement succeeded on one backend and failed on
+    the other).  The pair refuses further statements until ``reset()``;
+    campaigns treat this like any expected error and regenerate the
+    state."""
+
+
+class DifferentialMismatch(ReproError):
+    """Two backends returned different result sets for the same query
+    -- the differential oracle's bug signal (NoREC-style cross-engine
+    testing, Rigger & Su 2020).  Not an :class:`SqlError`: a mismatch
+    is a finding, not an expected error."""
+
+    def __init__(
+        self,
+        message: str,
+        fingerprints: "tuple[str | None, str | None]" = (None, None),
+    ) -> None:
+        super().__init__(message)
+        #: ``(primary, secondary)`` plan fingerprints of the diverging
+        #: query, attached to bug reports.
+        self.fingerprints = fingerprints
+
+
 class InternalError(ReproError):
     """Unexpected engine-internal failure -- a bug category in Table 1."""
 

@@ -47,16 +47,19 @@ def fingerprint_report(report: TestReport) -> str:
     Built from the failure kind, the normalized statement sequence, and
     the ground-truth fault ids -- *not* the description, which embeds
     volatile row values, nor the oracle name, so the same witness found
-    by two oracles deduplicates.
+    by two oracles deduplicates.  Differential reports additionally key
+    on the backend pair: the same statements diverging between a
+    *different* pair of engines is a different bug (the fingerprint of
+    single-engine reports is unchanged).
     """
-    payload = json.dumps(
-        {
-            "kind": report.kind,
-            "statements": [normalize_statement(s) for s in report.statements],
-            "faults": sorted(report.fired_faults),
-        },
-        sort_keys=True,
-    )
+    payload_dict = {
+        "kind": report.kind,
+        "statements": [normalize_statement(s) for s in report.statements],
+        "faults": sorted(report.fired_faults),
+    }
+    if report.backend_pair is not None:
+        payload_dict["backends"] = list(report.backend_pair)
+    payload = json.dumps(payload_dict, sort_keys=True)
     return hashlib.sha256(payload.encode()).hexdigest()[:16]
 
 
@@ -72,6 +75,8 @@ class CorpusEntry:
     fired_faults: list[str] = field(default_factory=list)
     reduced_statements: list[str] | None = None
     times_seen: int = 1
+    #: (primary, secondary) backend names for differential findings.
+    backend_pair: list[str] | None = None
 
     def to_dict(self) -> dict:
         return {
@@ -83,10 +88,12 @@ class CorpusEntry:
             "fired_faults": self.fired_faults,
             "reduced_statements": self.reduced_statements,
             "times_seen": self.times_seen,
+            "backend_pair": self.backend_pair,
         }
 
     @classmethod
     def from_dict(cls, data: dict) -> "CorpusEntry":
+        pair = data.get("backend_pair")
         return cls(
             fingerprint=data["fingerprint"],
             oracle=data["oracle"],
@@ -96,6 +103,7 @@ class CorpusEntry:
             fired_faults=list(data.get("fired_faults", ())),
             reduced_statements=data.get("reduced_statements"),
             times_seen=int(data.get("times_seen", 1)),
+            backend_pair=list(pair) if pair else None,
         )
 
 
@@ -149,6 +157,11 @@ class BugCorpus:
             statements=list(report.statements),
             description=report.description,
             fired_faults=sorted(report.fired_faults),
+            backend_pair=(
+                list(report.backend_pair)
+                if report.backend_pair is not None
+                else None
+            ),
         )
         if self.reduce_fn is not None:
             entry.reduced_statements = self.reduce_fn(report)

@@ -28,6 +28,11 @@ from repro.adapters.sqlite3_adapter import Sqlite3Adapter
 from repro.baselines import DQEOracle, EETOracle, NoRECOracle, TLPOracle
 from repro.core import CoddTestOracle
 from repro.dialects import make_engine
+from repro.differential import (
+    BACKEND_NAMES,
+    DifferentialOracle,
+    build_pair_adapter,
+)
 from repro.errors import (
     EngineCrash,
     EngineHang,
@@ -49,6 +54,7 @@ ORACLE_FACTORIES: dict[str, Callable[..., Oracle]] = {
     "tlp": TLPOracle,
     "dqe": DQEOracle,
     "eet": EETOracle,
+    "differential": DifferentialOracle,
 }
 
 #: How often (seconds) a worker posts a progress message at most.
@@ -70,6 +76,9 @@ class FleetConfig:
     seconds: float | None = None
     tests_per_state: int = 25
     max_reports: int = 1000
+    #: Differential campaigns: (primary, secondary) backend names, e.g.
+    #: ``("minidb", "sqlite3")``.  Requires ``oracle="differential"``.
+    backend_pair: tuple[str, str] | None = None
 
     def __post_init__(self) -> None:
         if self.oracle not in ORACLE_FACTORIES:
@@ -80,6 +89,24 @@ class FleetConfig:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
         if self.n_tests is None and self.seconds is None:
             raise ValueError("specify n_tests and/or seconds")
+        if self.backend_pair is not None:
+            self.backend_pair = tuple(self.backend_pair)
+            if len(self.backend_pair) != 2 or any(
+                b not in BACKEND_NAMES for b in self.backend_pair
+            ):
+                raise ValueError(
+                    f"backend_pair must name two of {BACKEND_NAMES}, "
+                    f"got {self.backend_pair!r}"
+                )
+            if self.oracle != "differential":
+                raise ValueError(
+                    "backend_pair requires oracle='differential'"
+                )
+        elif self.oracle == "differential":
+            raise ValueError(
+                "the differential oracle requires a backend_pair, e.g. "
+                "('minidb', 'sqlite3')"
+            )
 
 
 @dataclass
@@ -114,6 +141,7 @@ def build_shards(config: FleetConfig) -> list[ShardSpec]:
             # Each shard stays within the fleet-wide bound; the merge
             # truncates again, and the stop event ends the other shards.
             max_reports=config.max_reports,
+            backend_pair=config.backend_pair,
         )
         for i in range(config.workers)
     ]
@@ -125,6 +153,10 @@ def build_shards(config: FleetConfig) -> list[ShardSpec]:
 
 
 def _build_adapter(spec: ShardSpec):
+    if spec.backend_pair is not None:
+        return build_pair_adapter(
+            spec.backend_pair, dialect=spec.dialect, buggy=spec.buggy
+        )
     if spec.adapter == "sqlite3":
         return Sqlite3Adapter()
     return MiniDBAdapter(
@@ -476,9 +508,11 @@ def make_replay_reducer(config: FleetConfig) -> ReduceFn | None:
     the bug when the report's injected faults all fire again (logic
     bugs) or the engine raises the same failure class (internal error /
     crash / hang).  Real DBMS adapters have no ground truth, so there
-    is nothing safe to replay against -- returns None.
+    is nothing safe to replay against -- returns None, as do
+    differential configs (a reduced witness would need *both* engines
+    to disagree again, which single-engine replay cannot check).
     """
-    if config.adapter != "minidb":
+    if config.adapter != "minidb" or config.backend_pair is not None:
         return None
 
     def reduce_fn(report: TestReport) -> list[str] | None:

@@ -77,3 +77,6 @@ class ShardSpec:
     buggy: bool = False
     tests_per_state: int = 25
     max_reports: int = 1000
+    #: Differential campaigns: (primary, secondary) backend names; the
+    #: worker builds a DifferentialAdapter instead of a single backend.
+    backend_pair: tuple[str, str] | None = None

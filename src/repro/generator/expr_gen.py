@@ -66,6 +66,7 @@ class ExprGenerator:
         allow_subqueries: bool = True,
         supports_any_all: bool = True,
         strict_typing: bool = False,
+        portable: bool = False,
     ) -> None:
         self.rng = rng
         self.schema = schema
@@ -73,6 +74,13 @@ class ExprGenerator:
         self.allow_subqueries = allow_subqueries
         self.supports_any_all = supports_any_all
         self.strict_typing = strict_typing
+        #: Portable mode (differential testing): only emit constructs
+        #: whose semantics are *defined to coincide* across engines --
+        #: type-matched comparisons (relaxed engines disagree on mixed
+        #: text/number coercion), order-insensitive subqueries (no bare
+        #: LIMIT, no GROUP BY inside scalar subqueries), and no
+        #: comparisons against untyped (view) columns.
+        self.portable = portable
         self._alias_counter = 0
 
     # -- entry points ---------------------------------------------------------
@@ -148,6 +156,11 @@ class ExprGenerator:
         if kind == "not":
             return A.Unary("NOT", self._boolean(scope, depth - 1, used))
         if kind == "between":
+            if self.portable:
+                # All three operands must share a type: BETWEEN expands
+                # to two comparisons, and a bound of another type is
+                # exactly the mixed comparison engines disagree on.
+                return self._portable_between(scope, used)
             operand, low = self._typed_operands(scope, depth - 1, used)
             if depth > 1 and rng.random() < 0.3:
                 # Complex bound (possibly a CASE) -- the paper Listing 7
@@ -157,6 +170,12 @@ class ExprGenerator:
                 _, high = self._typed_operands(scope, depth - 1, used)
             return A.Between(operand, low, high, negated=rng.random() < 0.3)
         if kind == "in_list":
+            if self.portable:
+                # Every list item must share the operand's type:
+                # _literal_like falls back to integer literals for
+                # column templates, which against a TEXT operand is the
+                # mixed-type membership test engines disagree on.
+                return self._portable_in_list(scope, used)
             operand, sample = self._typed_operands(scope, depth - 1, used)
             items: list[A.Expr] = [sample]
             for _ in range(rng.randint(0, 3)):
@@ -189,17 +208,27 @@ class ExprGenerator:
         if kind == "exists":
             return self._exists(scope, used)
         if kind == "in_subquery":
-            operand, _ = self._typed_operands(scope, depth - 1, used)
-            return A.InSubquery(
-                operand,
-                self._single_column_select(scope, used),
-                negated=rng.random() < 0.3,
-            )
+            if self.portable:
+                operand, select = self._subquery_operand_pair(scope, used)
+            else:
+                operand, _ = self._typed_operands(scope, depth - 1, used)
+                select = self._single_column_select(scope, used)
+            return A.InSubquery(operand, select, negated=rng.random() < 0.3)
         if kind == "scalar_sub_cmp":
-            left = self._scalar(scope, depth - 1, used)
+            if self.portable:
+                # Portable scalar subqueries are numeric aggregates, so
+                # the comparison operand must be numeric too.
+                left = self._numeric_operand(scope, depth - 1, used)
+            else:
+                left = self._scalar(scope, depth - 1, used)
             op = rng.choice(["=", "!=", "<", "<=", ">", ">="])
             return A.Binary(op, left, self._scalar_subquery(scope, used))
         if kind == "quantified":
+            if self.portable:
+                operand, select = self._subquery_operand_pair(scope, used)
+                op = rng.choice(["=", "!=", "<", "<=", ">", ">="])
+                quant = rng.choice(["ANY", "ALL", "SOME"])
+                return A.Quantified(operand, op, quant, select)
             operand, _ = self._typed_operands(scope, depth - 1, used)
             op = rng.choice(["=", "!=", "<", "<=", ">", ">="])
             quant = rng.choice(["ANY", "ALL", "SOME"])
@@ -207,6 +236,40 @@ class ExprGenerator:
                 operand, op, quant, self._single_column_select(scope, used)
             )
         raise AssertionError(kind)
+
+    def _portable_operand(
+        self, scope: list[ScopeColumn], used: list[ScopeColumn]
+    ) -> tuple[A.Expr, SqlType | None]:
+        """A typed-column or literal operand plus its type, so every
+        expression compared against it can be generated type-matched."""
+        rng = self.rng
+        typed = [c for c in scope if c.sql_type is not None]
+        if typed and rng.random() < 0.75:
+            col = rng.choice(typed)
+            used.append(col)
+            return col.ref, col.sql_type
+        value = self._literal_value()
+        return A.Literal(value), _value_type(value)
+
+    def _portable_between(
+        self, scope: list[ScopeColumn], used: list[ScopeColumn]
+    ) -> A.Expr:
+        rng = self.rng
+        operand, sql_type = self._portable_operand(scope, used)
+        low = self._match_type(sql_type, scope, used)
+        high = self._match_type(sql_type, scope, used)
+        return A.Between(operand, low, high, negated=rng.random() < 0.3)
+
+    def _portable_in_list(
+        self, scope: list[ScopeColumn], used: list[ScopeColumn]
+    ) -> A.Expr:
+        rng = self.rng
+        operand, sql_type = self._portable_operand(scope, used)
+        items = tuple(
+            self._match_type(sql_type, scope, used)
+            for _ in range(rng.randint(1, 4))
+        )
+        return A.InList(operand, items, negated=rng.random() < 0.3)
 
     def _leaf_bool(
         self, scope: list[ScopeColumn], used: list[ScopeColumn]
@@ -226,14 +289,17 @@ class ExprGenerator:
         if kind == "exists":
             return self._exists(scope, used)
         if kind == "in_subquery":
-            operand, _ = self._typed_operands(scope, max(depth - 1, 0), used)
-            return A.InSubquery(
-                operand,
-                self._single_column_select(scope, used),
-                negated=rng.random() < 0.3,
-            )
+            if self.portable:
+                operand, select = self._subquery_operand_pair(scope, used)
+            else:
+                operand, _ = self._typed_operands(scope, max(depth - 1, 0), used)
+                select = self._single_column_select(scope, used)
+            return A.InSubquery(operand, select, negated=rng.random() < 0.3)
         if kind == "scalar_sub_cmp":
-            left = self._scalar(scope, max(depth - 1, 0), used)
+            if self.portable:
+                left = self._numeric_operand(scope, max(depth - 1, 0), used)
+            else:
+                left = self._scalar(scope, max(depth - 1, 0), used)
             op = rng.choice(["=", "!=", "<", "<=", ">", ">="])
             return A.Binary(op, left, self._scalar_subquery(scope, used))
         if kind == "scalar_sub_truth":
@@ -243,6 +309,11 @@ class ExprGenerator:
             if self.strict_typing:
                 return A.Binary(">", sub, A.Literal(0))
             return sub
+        if self.portable:
+            operand, select = self._subquery_operand_pair(scope, used)
+            op = rng.choice(["=", "!=", "<", "<=", ">", ">="])
+            quant = rng.choice(["ANY", "ALL", "SOME"])
+            return A.Quantified(operand, op, quant, select)
         operand, _ = self._typed_operands(scope, max(depth - 1, 0), used)
         op = rng.choice(["=", "!=", "<", "<=", ">", ">="])
         quant = rng.choice(["ANY", "ALL", "SOME"])
@@ -327,10 +398,18 @@ class ExprGenerator:
             return A.FuncCall(name, (self._text_operand(scope, used),))
         if name == "ABS":
             return A.FuncCall(name, (self._numeric_operand(scope, depth - 1, used),))
-        args = (
-            self._scalar(scope, depth - 1, used),
-            self._scalar(scope, depth - 1, used),
-        )
+        if self.portable:
+            # NULLIF compares its arguments, and COALESCE/IFNULL results
+            # flow into comparisons -- keep the types uniform.
+            args = (
+                self._numeric_operand(scope, depth - 1, used),
+                self._numeric_operand(scope, depth - 1, used),
+            )
+        else:
+            args = (
+                self._scalar(scope, depth - 1, used),
+                self._scalar(scope, depth - 1, used),
+            )
         return A.FuncCall(name, args)
 
     def _leaf_scalar(
@@ -351,6 +430,11 @@ class ExprGenerator:
         """A pair of comparison operands with compatible types (required
         under strict typing, paper Section 3.3)."""
         rng = self.rng
+        if self.portable:
+            # Untyped columns (views) hold values of unknown runtime
+            # type; comparing them is exactly the mixed-type territory
+            # relaxed engines disagree on.
+            scope = [c for c in scope if c.sql_type is not None]
         if scope and rng.random() < 0.75:
             col = rng.choice(scope)
             used.append(col)
@@ -399,7 +483,11 @@ class ExprGenerator:
         numeric = [
             c
             for c in scope
-            if c.sql_type in (SqlType.INTEGER, SqlType.REAL, None)
+            if c.sql_type in (SqlType.INTEGER, SqlType.REAL)
+            # Untyped (view) columns may hold text: fine inside relaxed
+            # arithmetic, but a bare reference can end up as a direct
+            # comparison operand, where engines disagree on text.
+            or (c.sql_type is None and not self.portable)
         ]
         if numeric and rng.random() < 0.55:
             col = rng.choice(numeric)
@@ -492,11 +580,23 @@ class ExprGenerator:
         if r < 0.22:
             return None
         if outer and r < 0.55:
-            outer_col = rng.choice(outer)
-            inner_col = rng.choice(inner)
-            used.append(outer_col)
-            op = rng.choice(["=", "=", "!=", "<", ">"])
-            return A.Binary(op, outer_col.ref, inner_col.ref)
+            if not self.portable:
+                outer_col = rng.choice(outer)
+                inner_col = rng.choice(inner)
+                used.append(outer_col)
+                op = rng.choice(["=", "=", "!=", "<", ">"])
+                return A.Binary(op, outer_col.ref, inner_col.ref)
+            pairs = [
+                (o, i)
+                for o in outer
+                for i in inner
+                if o.sql_type is not None and o.sql_type == i.sql_type
+            ]
+            if pairs:
+                outer_col, inner_col = rng.choice(pairs)
+                used.append(outer_col)
+                op = rng.choice(["=", "=", "!=", "<", ">"])
+                return A.Binary(op, outer_col.ref, inner_col.ref)
         if r < 0.63 and self.schema.base_tables:
             # Nested subquery predicate (the paper's hang-class bugs live
             # in nested NOT IN / NOT EXISTS shapes).
@@ -507,8 +607,14 @@ class ExprGenerator:
                 items=(A.SelectItem(A.ColumnRef(nested_alias, nested_col.name)),),
                 from_clause=A.NamedTable(table.name, nested_alias),
             )
-            if rng.random() < 0.5:
-                inner_col = rng.choice(inner)
+            in_candidates = [
+                c
+                for c in inner
+                if not self.portable
+                or (c.sql_type is not None and c.sql_type == nested_col.sql_type)
+            ]
+            if in_candidates and rng.random() < 0.5:
+                inner_col = rng.choice(in_candidates)
                 return A.InSubquery(inner_col.ref, nested, negated=rng.random() < 0.5)
             return A.Exists(nested, negated=rng.random() < 0.5)
         if r < 0.72:
@@ -534,6 +640,8 @@ class ExprGenerator:
         rng = self.rng
         table, alias = self._pick_table()
         inner = self._inner_scope(table, alias)
+        if self.portable:
+            return self._portable_scalar_subquery(table, alias, inner, outer, used)
         target = rng.choice(inner)
         where = self._inner_where(inner, outer, used)
         group_by: tuple[A.Expr, ...] = ()
@@ -571,6 +679,71 @@ class ExprGenerator:
         )
         return A.ScalarSubquery(select)
 
+    def _portable_scalar_subquery(
+        self,
+        table: TableInfo,
+        alias: str,
+        inner: list[ScopeColumn],
+        outer: list[ScopeColumn],
+        used: list[ScopeColumn],
+    ) -> A.Expr:
+        """Order-insensitive scalar subquery: an aggregate without GROUP
+        BY over a numeric column (or ``COUNT(*)``).
+
+        The general form's ``LIMIT 1``-without-ORDER-BY and multi-row
+        GROUP BY shapes make the scalar depend on scan order, which two
+        engines need not share.
+        """
+        rng = self.rng
+        numeric = [
+            c for c in inner if c.sql_type in (SqlType.INTEGER, SqlType.REAL)
+        ]
+        where = self._inner_where(inner, outer, used)
+        if numeric and rng.random() < 0.7:
+            target = rng.choice(numeric)
+            agg = rng.choice(["COUNT", "SUM", "AVG", "MIN", "MAX"])
+            distinct = rng.random() < 0.12
+            item = A.SelectItem(A.FuncCall(agg, (target.ref,), distinct=distinct))
+        else:
+            item = A.SelectItem(A.FuncCall("COUNT", (), star=True))
+        select = A.Select(
+            items=(item,),
+            from_clause=A.NamedTable(table.name, alias),
+            where=where,
+        )
+        return A.ScalarSubquery(select)
+
+    def _subquery_operand_pair(
+        self, outer: list[ScopeColumn], used: list[ScopeColumn]
+    ) -> tuple[A.Expr, A.Select]:
+        """Type-matched (operand, single-column SELECT) for IN/quantified
+        predicates in portable mode: the subquery target column is chosen
+        first and the operand is a scope column or literal of the *same*
+        type, so membership tests never compare across types."""
+        rng = self.rng
+        table, alias = self._pick_table()
+        inner = self._inner_scope(table, alias)
+        typed = [c for c in inner if c.sql_type is not None]
+        target = rng.choice(typed or inner)
+        matches = [
+            c
+            for c in outer
+            if c.sql_type is not None and c.sql_type == target.sql_type
+        ]
+        if matches and rng.random() < 0.7:
+            col = rng.choice(matches)
+            used.append(col)
+            operand: A.Expr = col.ref
+        else:
+            operand = A.Literal(self._literal_of_type(target.sql_type))
+        where = self._inner_where(inner, outer, used)
+        select = A.Select(
+            items=(A.SelectItem(target.ref),),
+            from_clause=A.NamedTable(table.name, alias),
+            where=where,
+        )
+        return operand, select
+
     def _single_column_select(
         self, outer: list[ScopeColumn], used: list[ScopeColumn]
     ) -> A.Select:
@@ -579,7 +752,10 @@ class ExprGenerator:
         inner = self._inner_scope(table, alias)
         target = rng.choice(inner)
         where = self._inner_where(inner, outer, used)
-        limit = A.Literal(rng.randint(1, 3)) if rng.random() < 0.3 else None
+        limit = None
+        if not self.portable and rng.random() < 0.3:
+            # LIMIT without ORDER BY returns engine-dependent rows.
+            limit = A.Literal(rng.randint(1, 3))
         return A.Select(
             items=(A.SelectItem(target.ref),),
             from_clause=A.NamedTable(table.name, alias),

@@ -48,6 +48,26 @@ def _strip_ons(ref: A.TableRef) -> A.TableRef:
     return ref
 
 
+def replace_join_on(
+    ref: A.TableRef, target: A.Join | None, predicate: A.Expr
+) -> A.TableRef:
+    """Rebuild a FROM tree with *target*'s ON clause replaced by
+    *predicate* (a CROSS target becomes INNER so the ON is legal).
+    Used by oracles that place the tested expression in JOIN ... ON
+    position (paper Section 3.3, "Query construction")."""
+    if isinstance(ref, A.Join):
+        if ref is target:
+            kind = "INNER" if ref.kind == "CROSS" else ref.kind
+            return A.Join(kind, ref.left, ref.right, predicate)
+        return A.Join(
+            ref.kind,
+            replace_join_on(ref.left, target, predicate),
+            replace_join_on(ref.right, target, predicate),
+            ref.on,
+        )
+    return ref
+
+
 class QueryGenerator:
     """Seeded random query generator shared by all oracles."""
 
@@ -59,6 +79,7 @@ class QueryGenerator:
         join_kinds: tuple[str, ...] = ("INNER", "LEFT", "CROSS", "FULL"),
         use_views: bool = True,
         max_relations: int = 2,
+        portable: bool = False,
     ) -> None:
         self.rng = rng
         self.schema = schema
@@ -66,6 +87,10 @@ class QueryGenerator:
         self.join_kinds = join_kinds
         self.use_views = use_views
         self.max_relations = max_relations
+        #: Portable mode (differential testing): ON predicates only
+        #: compare columns of equal declared type -- relaxed engines
+        #: disagree on mixed text/number comparison semantics.
+        self.portable = portable
 
     # -- FROM clause ------------------------------------------------------------
 
@@ -113,10 +138,21 @@ class QueryGenerator:
     ) -> A.Expr:
         rng = self.rng
         if left_scope and right_scope and rng.random() < 0.7:
-            lcol = rng.choice(left_scope)
-            rcol = rng.choice(right_scope)
-            op = rng.choice(["=", "=", "!=", "<"])
-            return A.Binary(op, lcol.ref, rcol.ref)
+            if not self.portable:
+                lcol = rng.choice(left_scope)
+                rcol = rng.choice(right_scope)
+                op = rng.choice(["=", "=", "!=", "<"])
+                return A.Binary(op, lcol.ref, rcol.ref)
+            pairs = [
+                (l, r)
+                for l in left_scope
+                for r in right_scope
+                if l.sql_type is not None and l.sql_type == r.sql_type
+            ]
+            if pairs:
+                lcol, rcol = rng.choice(pairs)
+                op = rng.choice(["=", "=", "!=", "<"])
+                return A.Binary(op, lcol.ref, rcol.ref)
         return A.Literal(rng.random() < 0.8)
 
     # -- whole queries -----------------------------------------------------------

@@ -25,6 +25,13 @@ LARGE_INTS = [8628276060272066657, 2**33, -(2**35), 2**31 + 1]
 TEXT_POOL = ["a", "b", "abc", "x", "", "1", "0.5x"]
 
 
+def _insert_sql(table: str, rows: "list[list[SqlValue]]") -> str:
+    rendered = ", ".join(
+        "(" + ", ".join(sql_literal(v) for v in row) + ")" for row in rows
+    )
+    return f"INSERT INTO {table} VALUES {rendered}"
+
+
 class StateGenerator:
     """Generates a random schema plus contents via SQL statements."""
 
@@ -37,6 +44,7 @@ class StateGenerator:
         create_indexes: bool = True,
         create_views: bool = True,
         strict_typing: bool = False,
+        portable: bool = False,
     ) -> None:
         self.rng = rng
         self.max_tables = max_tables
@@ -45,6 +53,12 @@ class StateGenerator:
         self.create_indexes = create_indexes
         self.create_views = create_views
         self.strict_typing = strict_typing
+        #: Portable mode (differential testing): view definitions avoid
+        #: constructs whose semantics differ across engines -- here, the
+        #: ``GROUP BY 1 > col`` aggregate view over non-numeric columns
+        #: (engines disagree on mixed text/number comparison and on
+        #: AVG over text).
+        self.portable = portable
         #: Statements that built the current state (successful ones
         #: only).  Prepending them to a bug report's queries yields a
         #: self-contained, replayable program -- what the fleet corpus
@@ -75,6 +89,7 @@ class StateGenerator:
         n_cols = self.rng.randint(1, self.max_columns)
         col_defs: list[str] = []
         col_types: list[str] = []
+        not_nulls: list[bool] = []
         for c in range(n_cols):
             sql_type = self.rng.choice(
                 ["INT", "INT", "INT", "BIGINT", "BIGINT", "TEXT", "BOOL", "REAL"]
@@ -83,30 +98,40 @@ class StateGenerator:
                 # SQLite-style dynamically typed column.
                 col_defs.append(f"c{c}")
                 col_types.append("ANY")
+                not_nulls.append(False)
                 continue
-            not_null = " NOT NULL" if self.rng.random() < 0.15 else ""
-            col_defs.append(f"c{c} {sql_type}{not_null}")
+            not_null = self.rng.random() < 0.15
+            col_defs.append(f"c{c} {sql_type}{' NOT NULL' if not_null else ''}")
             col_types.append(sql_type)
+            not_nulls.append(not_null)
         self._exec(adapter, f"CREATE TABLE {name} ({', '.join(col_defs)})")
 
         n_rows = self.rng.randint(1, self.max_rows)
-        rows_sql: list[str] = []
-        for _ in range(n_rows):
-            values = [
-                sql_literal(self._random_value(col_types[c]))
-                for c in range(n_cols)
-            ]
-            rows_sql.append("(" + ", ".join(values) + ")")
+        rows: list[list[SqlValue]] = [
+            [self._random_value(col_types[c]) for c in range(n_cols)]
+            for _ in range(n_rows)
+        ]
         try:
-            self._exec(adapter, f"INSERT INTO {name} VALUES {', '.join(rows_sql)}")
+            self._exec(adapter, _insert_sql(name, rows))
         except SqlError:
-            # NOT NULL violation etc.; retry once with safe values.
-            safe = [
-                "("
-                + ", ".join(sql_literal(self._safe_value(t)) for t in col_types)
-                + ")"
+            # NOT NULL violation: statements are atomic, so nothing was
+            # inserted.  Patch the offending NULLs and retry with the
+            # full row set (single-row tables trigger far fewer join
+            # bugs), falling back to one all-safe row.
+            patched = [
+                [
+                    self._safe_value(col_types[c])
+                    if v is None and not_nulls[c]
+                    else v
+                    for c, v in enumerate(row)
+                ]
+                for row in rows
             ]
-            self._exec(adapter, f"INSERT INTO {name} VALUES {', '.join(safe)}")
+            try:
+                self._exec(adapter, _insert_sql(name, patched))
+            except SqlError:
+                safe = [[self._safe_value(t) for t in col_types]]
+                self._exec(adapter, _insert_sql(name, safe))
 
         if self.create_indexes and self.rng.random() < 0.7:
             self._create_index(adapter, name, n_cols)
@@ -156,6 +181,8 @@ class StateGenerator:
             pass  # e.g. expression indexes unsupported by a dialect
 
     def _create_view(self, adapter: EngineAdapter, name: str, n_tables: int) -> None:
+        from repro.minidb.values import SqlType
+
         table = f"t{self.rng.randrange(n_tables)}"
         try:
             info = adapter.schema().table(table)
@@ -163,6 +190,19 @@ class StateGenerator:
             return
         col = self.rng.choice(info.columns).name
         choice = self.rng.random()
+        if self.portable and choice < 0.7:
+            # The aggregate-view shape needs a numeric column: cross-
+            # engine, ``1 > text_col`` groups differently and AVG(text)
+            # is engine-defined.
+            numeric = [
+                c.name
+                for c in info.columns
+                if c.sql_type in (SqlType.INTEGER, SqlType.REAL)
+            ]
+            if not numeric:
+                choice = 0.0  # fall back to the plain projection view
+            elif 0.4 <= choice:
+                col = self.rng.choice(numeric)
         try:
             if choice < 0.4:
                 self._exec(

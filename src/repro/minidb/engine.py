@@ -236,7 +236,12 @@ class Engine:
             features["clause"] = "insert_source"
             source_rows = self.faults.fire("insert_select_rows", features, mat.rows)
 
-        inserted = 0
+        # Statement-level atomicity (SQLite semantics): coerce and
+        # validate every row before storing any, so a constraint
+        # violation on row N leaves rows 1..N-1 uninserted too.  The
+        # differential layer relies on this: a rejected INSERT must have
+        # no side effects on either backend.
+        coerced: list[tuple[SqlValue, ...]] = []
         for row in source_rows:
             if len(row) != len(target_idx):
                 raise ValueError_(
@@ -248,9 +253,13 @@ class Engine:
                 full[idx] = _coerce_for_column(
                     value, table.columns[idx].declared_type, self.mode
                 )
-            table.insert_row(tuple(full))
-            inserted += 1
-        return QueryResult(rows_affected=inserted)
+            for col, value in zip(table.columns, full):
+                if col.not_null and value is None:
+                    raise ValueError_(f"NOT NULL constraint failed: {col.name}")
+            coerced.append(tuple(full))
+        for full_row in coerced:
+            table.insert_row(full_row)
+        return QueryResult(rows_affected=len(coerced))
 
     def _execute_update(self, stmt: A.Update) -> QueryResult:
         self.cov("stmt.update")

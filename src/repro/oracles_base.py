@@ -38,25 +38,33 @@ class TestReport:
     statements: list[str]
     description: str
     fired_faults: frozenset[str] = frozenset()
+    #: ``(primary, secondary)`` backend names for differential reports;
+    #: None for single-engine oracles.
+    backend_pair: tuple[str, str] | None = None
 
     def to_dict(self) -> dict:
         """JSON-compatible form (used by the fleet bug corpus)."""
-        return {
+        out = {
             "oracle": self.oracle,
             "kind": self.kind,
             "statements": list(self.statements),
             "description": self.description,
             "fired_faults": sorted(self.fired_faults),
         }
+        if self.backend_pair is not None:
+            out["backend_pair"] = list(self.backend_pair)
+        return out
 
     @classmethod
     def from_dict(cls, data: dict) -> "TestReport":
+        pair = data.get("backend_pair")
         return cls(
             oracle=data["oracle"],
             kind=data["kind"],
             statements=list(data["statements"]),
             description=data["description"],
             fired_faults=frozenset(data.get("fired_faults", ())),
+            backend_pair=tuple(pair) if pair else None,
         )
 
 
@@ -197,18 +205,30 @@ class Oracle(abc.ABC):
 # ---------------------------------------------------------------------------
 
 
+def canonical_value(v: SqlValue) -> SqlValue:
+    """Canonical form of one value: floats lose both tiny absolute noise
+    (9 decimal places) and accumulation-order noise in large magnitudes
+    (12 significant digits), mirroring the paper's handling of
+    floating-point false alarms (Section 4.1).  Engines that accumulate
+    an AVG over BIGINTs in a different order agree to 12 significant
+    digits but not to the last ulp.  All other types pass through.
+    """
+    if isinstance(v, float):
+        rounded = round(v, 9)
+        if rounded == 0.0:  # collapse -0.0 and underflow to +0.0
+            return 0.0
+        return float(f"{rounded:.12g}")
+    return v
+
+
 def canonical(rows: list[tuple[SqlValue, ...]]) -> list[tuple[SqlValue, ...]]:
     """Order-insensitive, float-tolerant canonical form of a result set.
 
     The metamorphic relations compare result *multisets*: generated
     queries carry no ORDER BY, so row order is not part of the contract.
-    Floats are rounded to absorb accumulation noise, mirroring the
-    paper's handling of floating-point false alarms (Section 4.1).
+    Idempotent: ``canonical(canonical(x)) == canonical(x)``.
     """
-    normalized = [
-        tuple(round(v, 9) if isinstance(v, float) else v for v in row)
-        for row in rows
-    ]
+    normalized = [tuple(canonical_value(v) for v in row) for row in rows]
     return sorted(normalized, key=row_sort_key)
 
 

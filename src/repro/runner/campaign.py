@@ -144,7 +144,9 @@ class Campaign:
         self.rng = random.Random(seed)
         self.tests_per_state = tests_per_state
         self.state_gen = state_gen or StateGenerator(
-            self.rng, strict_typing=adapter.strict_typing
+            self.rng,
+            strict_typing=adapter.strict_typing,
+            portable=adapter.portable_generation,
         )
         self.max_reports = max_reports
         self.max_state_failures = max_state_failures
@@ -154,6 +156,26 @@ class Campaign:
         #: mutate them.  Used by the fleet workers to stream progress.
         self.on_progress = on_progress
         self.stats = CampaignStats(oracle=oracle.name)
+
+    @classmethod
+    def from_adapter_factories(
+        cls,
+        oracle: Oracle,
+        factory_pair: "tuple[Callable[[], EngineAdapter], Callable[[], EngineAdapter]]",
+        **kwargs,
+    ) -> "Campaign":
+        """Build a differential campaign from an adapter *factory pair*.
+
+        The first factory builds the primary (engine under test), the
+        second the reference; they are combined into a
+        :class:`~repro.differential.pair.DifferentialAdapter` and the
+        campaign otherwise behaves exactly like a single-engine one.
+        """
+        from repro.differential.pair import DifferentialAdapter
+
+        primary_factory, secondary_factory = factory_pair
+        adapter = DifferentialAdapter(primary_factory(), secondary_factory())
+        return cls(oracle, adapter, **kwargs)
 
     def run(
         self, n_tests: int | None = None, seconds: float | None = None

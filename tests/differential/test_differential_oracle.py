@@ -1,0 +1,118 @@
+"""DifferentialOracle behaviour: clean pairs stay silent, planted
+faults are detected, reports carry the backend pair and ground truth."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adapters import MiniDBAdapter
+from repro.differential import (
+    DifferentialAdapter,
+    DifferentialOracle,
+    build_pair_adapter,
+    run_differential_campaign,
+)
+from repro.dialects import make_engine
+from repro.dialects.catalog import FAULTS_BY_ID
+from repro.runner.campaign import Campaign
+
+
+def clean_pair():
+    return build_pair_adapter(("minidb", "sqlite3"))
+
+
+def buggy_pair(fault_id: str | None = None):
+    if fault_id is None:
+        return build_pair_adapter(("minidb", "sqlite3"), buggy=True)
+    primary = MiniDBAdapter(
+        make_engine("sqlite", faults=[FAULTS_BY_ID[fault_id]])
+    )
+    from repro.adapters import Sqlite3Adapter
+
+    return DifferentialAdapter(primary, Sqlite3Adapter())
+
+
+class TestCleanPair:
+    def test_no_false_positives(self):
+        stats = Campaign(DifferentialOracle(), clean_pair(), seed=11).run(
+            n_tests=300
+        )
+        assert stats.tests == 300
+        assert stats.reports == []
+
+    def test_minidb_vs_minidb_pair(self):
+        # Two independent fault-free MiniDB instances agree with each
+        # other on the full portable surface (including ANY/ALL, which
+        # the sqlite3 pair cannot exercise).
+        pair = build_pair_adapter(("minidb", "minidb"))
+        stats = Campaign(DifferentialOracle(), pair, seed=3).run(n_tests=200)
+        assert stats.reports == []
+
+
+class TestFaultDetection:
+    def test_detects_planted_view_join_fault(self):
+        # sqlite_view_join_where force-falses WHERE above view joins:
+        # the reference SQLite returns rows MiniDB drops.
+        stats = Campaign(
+            DifferentialOracle(), buggy_pair("sqlite_view_join_where"), seed=0
+        ).run(n_tests=400)
+        assert "sqlite_view_join_where" in stats.detected_fault_ids
+
+    def test_reports_carry_backend_pair_and_fingerprints(self):
+        stats = Campaign(
+            DifferentialOracle(), buggy_pair(), seed=7
+        ).run(n_tests=300)
+        assert stats.reports
+        for report in stats.reports:
+            assert report.backend_pair == ("minidb[sqlite]", "sqlite3")
+            assert report.oracle == "differential"
+            assert "plan" in report.description
+            # Replayable program: state DDL precedes the query.
+            assert report.statements[0].upper().startswith("CREATE TABLE")
+
+    def test_report_roundtrips_backend_pair(self):
+        stats = Campaign(
+            DifferentialOracle(), buggy_pair(), seed=7
+        ).run(n_tests=300)
+        from repro.oracles_base import TestReport
+
+        report = stats.reports[0]
+        clone = TestReport.from_dict(report.to_dict())
+        assert clone.backend_pair == report.backend_pair
+        assert clone.statements == report.statements
+
+
+class TestFactoryPairEntryPoints:
+    def test_campaign_from_adapter_factories(self):
+        from repro.adapters import Sqlite3Adapter
+
+        campaign = Campaign.from_adapter_factories(
+            DifferentialOracle(),
+            (
+                lambda: MiniDBAdapter(make_engine("sqlite")),
+                Sqlite3Adapter,
+            ),
+            seed=5,
+        )
+        assert isinstance(campaign.adapter, DifferentialAdapter)
+        stats = campaign.run(n_tests=50)
+        assert stats.tests == 50
+        assert stats.reports == []
+
+    def test_run_differential_campaign(self):
+        from repro.adapters import Sqlite3Adapter
+
+        stats = run_differential_campaign(
+            (
+                lambda: MiniDBAdapter(make_engine("sqlite")),
+                Sqlite3Adapter,
+            ),
+            n_tests=50,
+            seed=5,
+        )
+        assert stats.oracle == "differential"
+        assert stats.tests == 50
+
+    def test_build_pair_rejects_unknown_backend(self):
+        with pytest.raises(ValueError):
+            build_pair_adapter(("minidb", "postgres"))

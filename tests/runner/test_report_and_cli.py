@@ -129,6 +129,32 @@ class TestCli:
         assert rc == 0
         assert "norec" in capsys.readouterr().out
 
+    def test_diff_clean_run_exits_zero(self, capsys):
+        rc = cli_main(
+            ["diff", "--tests", "60", "--seed", "7", "--quiet"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "differential minidb vs sqlite3" in out
+        assert "divergences: 0 report(s)" in out
+
+    def test_diff_buggy_run_reports_and_exits_zero(self, capsys, tmp_path):
+        corpus = str(tmp_path / "div.jsonl")
+        rc = cli_main(
+            ["diff", "--tests", "300", "--seed", "7", "--buggy",
+             "--corpus", corpus, "--quiet"]
+        )
+        assert rc == 0  # divergences are the *goal* with faults on
+        out = capsys.readouterr().out
+        assert "distinct injected bugs implicated" in out
+        assert "corpus saved" in out
+
+    def test_diff_rejects_malformed_backends(self, capsys):
+        assert cli_main(["diff", "--backends", "minidb", "--tests", "5"]) == 2
+        assert (
+            cli_main(["diff", "--backends", "minidb,nope", "--tests", "5"]) == 2
+        )
+
     def test_hunt_accepts_workers(self, capsys):
         rc = cli_main(
             ["hunt", "--tests", "40", "--workers", "2", "--buggy", "--seed", "3"]

@@ -11,11 +11,12 @@ from __future__ import annotations
 
 import sqlite3
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.minidb import Engine, values as V
 from repro.minidb.values import TypingMode
-from repro.oracles_base import canonical
+from repro.oracles_base import canonical, canonical_value, rows_equal
 
 RELAXED = TypingMode.RELAXED
 
@@ -89,6 +90,80 @@ class TestValueModelProperties:
     def test_null_propagation_in_arith(self, a):
         assert V.arith("+", None, a, RELAXED) is None
         assert V.arith("*", a, None, RELAXED) is None
+
+
+# ---------------------------------------------------------------------------
+# canonical() / rows_equal(): the result-comparison contract every
+# oracle (and the cross-backend differential adapter) rests on
+# ---------------------------------------------------------------------------
+
+float_value = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+row_value = st.one_of(sql_value, float_value)
+result_rows = st.lists(st.tuples(row_value, row_value), max_size=8)
+
+
+class TestCanonicalProperties:
+    @given(rows=result_rows, seed=st.integers(min_value=0, max_value=10**6))
+    def test_order_insensitivity(self, rows, seed):
+        import random
+
+        shuffled = list(rows)
+        random.Random(seed).shuffle(shuffled)
+        assert canonical(shuffled) == canonical(rows)
+        assert rows_equal(shuffled, rows)
+
+    @given(rows=result_rows)
+    def test_idempotence(self, rows):
+        once = canonical(rows)
+        assert canonical(once) == once
+
+    @given(rows=result_rows)
+    def test_preserves_multiset_size(self, rows):
+        assert len(canonical(rows)) == len(rows)
+
+    @given(rows=st.lists(st.tuples(st.none(), small_int), max_size=6))
+    def test_null_placement_sorts_first(self, rows):
+        out = canonical([(None, b) for _, b in rows] + [(0, 0)] if rows else [])
+        if out:
+            # NULLs rank before every non-NULL in the canonical order.
+            assert out[-1] == (0, 0)
+
+    @pytest.mark.parametrize(
+        "v", [0.0, 1.0, -2.5, 3.141592653589793, 123456.78, -99999.125]
+    )
+    def test_float_noise_below_tolerance_is_absorbed(self, v):
+        noisy = v + v * 1e-14  # accumulation-order noise, ~1 ulp
+        assert rows_equal([(v,)], [(noisy,)])
+
+    @given(v=st.floats(min_value=-100, max_value=100, allow_nan=False))
+    def test_float_differences_above_tolerance_are_kept(self, v):
+        assert not rows_equal([(v,)], [(v + 1.0,)])
+
+    @given(v=float_value)
+    def test_canonical_value_idempotent_on_floats(self, v):
+        assert canonical_value(canonical_value(v)) == canonical_value(v)
+
+    def test_negative_zero_collapses(self):
+        assert canonical_value(-0.0) == 0.0
+        assert repr(canonical_value(-0.0)) == "0.0"
+        assert rows_equal([(-0.0,)], [(0.0,)])
+
+    def test_large_magnitude_accumulation_noise_absorbed(self):
+        # Two engines summing BIGINTs for an AVG in different orders
+        # disagree in the last ulps of an ~1e18 double.
+        a = 8628276060272066657.0
+        b = float(8628276060272066657 + 512)  # < 1e-12 relative noise
+        assert rows_equal([(a,)], [(b,)])
+
+    @given(a=small_int, b=small_int)
+    def test_int_values_never_rounded(self, a, b):
+        assert rows_equal([(a,)], [(b,)]) == (a == b)
+
+    @given(rows=result_rows, extra=st.tuples(row_value, row_value))
+    def test_multiset_inequality_on_extra_row(self, rows, extra):
+        assert not rows_equal(rows, rows + [extra])
 
 
 # ---------------------------------------------------------------------------
