@@ -1,0 +1,54 @@
+"""Corpus lifecycle end to end: fleet hunt -> JSONL corpus -> triage.
+
+Runs a small 4-worker buggy fleet into a corpus file, then does what
+``coddtest corpus report`` does in code: load, cluster, replay-verify,
+and render the Table-1-style summary.  Run from the repo root::
+
+    PYTHONPATH=src python examples/triage_report.py
+
+Everything below is deterministic: re-running prints the same corpus
+and the same table (only the fleet's throughput varies).
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro import (
+    BugCorpus,
+    FleetConfig,
+    cluster_corpus,
+    load_corpus,
+    make_replay_reducer,
+    render_triage,
+    replay_clusters,
+    run_fleet,
+)
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        corpus_path = str(Path(tmp) / "bugs.jsonl")
+
+        # 1. Hunt: a sharded campaign feeding a persistent corpus.
+        config = FleetConfig(workers=4, n_tests=400, buggy=True, seed=3)
+        corpus = BugCorpus.open(
+            corpus_path, reduce_fn=make_replay_reducer(config)
+        )
+        result = run_fleet(config, corpus=corpus)
+        corpus.save()
+        print(
+            f"fleet: {result.merged.tests} tests -> {len(corpus)} distinct "
+            f"bugs in {len(result.clusters or [])} clusters\n"
+        )
+
+        # 2. Triage: cluster, replay-verify, render (what
+        #    ``coddtest corpus report bugs.jsonl`` does).
+        clusters = cluster_corpus(load_corpus(corpus_path))
+        verdicts = replay_clusters(clusters)
+        print(render_triage(clusters, verdicts, fmt="text"))
+
+
+if __name__ == "__main__":
+    main()

@@ -8,8 +8,8 @@ Public API tour
 >>> adapter = MiniDBAdapter(make_engine("sqlite", with_catalog_faults=True))
 >>> stats = run_campaign(CoddTestOracle(), adapter, n_tests=200, seed=1)
 
-See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-paper-vs-measured results of every table and figure.
+See README.md for the corpus lifecycle and docs/architecture.md for
+the package-layer map and the seed-to-triage-table data flow.
 """
 
 from repro.adapters import MiniDBAdapter, Sqlite3Adapter
@@ -39,6 +39,14 @@ from repro.runner import (
     detection_matrix,
     detects_fault,
     run_campaign,
+)
+from repro.triage import (
+    Cluster,
+    cluster_corpus,
+    load_corpus,
+    merge_corpora,
+    render_triage,
+    replay_clusters,
 )
 
 __version__ = "1.0.0"
@@ -76,5 +84,11 @@ __all__ = [
     "fingerprint_report",
     "make_replay_reducer",
     "run_fleet",
+    "Cluster",
+    "cluster_corpus",
+    "load_corpus",
+    "merge_corpora",
+    "render_triage",
+    "replay_clusters",
     "__version__",
 ]

@@ -7,12 +7,18 @@ Subcommands::
     coddtest diff     --backends minidb,sqlite3 --tests 500 [--workers N] [--corpus out.jsonl]
     coddtest compare  --tests 400 [--workers N]  # per-oracle detection counts
     coddtest sqlite3  --tests 200                # run against the real SQLite
+    coddtest corpus   report|merge|replay ...    # triage JSONL bug corpora
 
 Examples live in ``examples/``; this CLI wraps the same public API for
 quick interactive use.  ``hunt`` and ``compare`` route through the
 fleet orchestrator, so ``--workers 1`` (the default) reproduces the
 historical serial behaviour bit-for-bit while ``--workers N`` shards
 the same campaign across N processes.
+
+Determinism guarantee: every subcommand is deterministic in its inputs
+-- the same seed/workers/budget replays the same campaign, and the
+``corpus`` subcommands render the same files byte-identically (only
+wall-clock throughput lines differ between runs).
 """
 
 from __future__ import annotations
@@ -38,6 +44,22 @@ from repro.fleet.orchestrator import ORACLE_FACTORIES as ORACLES
 SINGLE_ENGINE_ORACLES = sorted(n for n in ORACLES if n != "differential")
 from repro.report import render_fleet_table
 from repro.runner import run_campaign
+from repro.triage import (
+    cluster_corpus,
+    load_corpus,
+    merge_corpora,
+    render_triage,
+    replay_clusters,
+    replay_representative,
+    triage_summary_lines,
+)
+
+#: Shared help-text suffix: the guarantee every campaign subcommand makes.
+_DETERMINISM = (
+    "Deterministic: the same --seed/--workers/--tests always replays "
+    "the same campaign and prints the same results (wall-clock "
+    "throughput lines aside)."
+)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -48,12 +70,21 @@ def main(argv: list[str] | None = None) -> int:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    hunt = sub.add_parser("hunt", help="run a bug-hunting campaign on MiniDB")
+    hunt = sub.add_parser(
+        "hunt",
+        help="run a bug-hunting campaign on MiniDB",
+        description="Run one bug-hunting campaign on MiniDB. "
+        + _DETERMINISM,
+    )
     _add_campaign_args(hunt, default_tests=1000)
 
     fleet = sub.add_parser(
         "fleet",
         help="sharded parallel campaign with a persistent bug corpus",
+        description="Shard one campaign across a worker pool and feed "
+        "a persistent, deduplicated JSONL bug corpus. " + _DETERMINISM
+        + " A --seconds budget trades that guarantee for wall-clock "
+        "control.",
     )
     _add_campaign_args(fleet, default_tests=None)
     fleet.add_argument(
@@ -85,6 +116,9 @@ def main(argv: list[str] | None = None) -> int:
         "diff",
         help="differential campaign: replay generated states and "
         "queries against two backends and report divergences",
+        description="Tee every generated statement to a primary and a "
+        "reference backend and report result divergences. "
+        + _DETERMINISM,
     )
     diff.add_argument(
         "--backends",
@@ -128,15 +162,29 @@ def main(argv: list[str] | None = None) -> int:
         "--quiet", action="store_true", help="suppress progress lines"
     )
 
-    compare = sub.add_parser("compare", help="compare oracle throughput")
+    compare = sub.add_parser(
+        "compare",
+        help="compare oracle throughput",
+        description="Run every single-engine oracle on the same budget "
+        "and print efficiency metrics side by side. " + _DETERMINISM,
+    )
     compare.add_argument("--tests", type=int, default=400)
     compare.add_argument("--dialect", choices=sorted(PROFILES), default="sqlite")
     compare.add_argument("--seed", type=int, default=0)
     compare.add_argument("--workers", type=int, default=1)
 
-    real = sub.add_parser("sqlite3", help="test the real stdlib SQLite")
+    real = sub.add_parser(
+        "sqlite3",
+        help="test the real stdlib SQLite",
+        description="Run the CODDTest oracle against the real stdlib "
+        "sqlite3 module. Deterministic: the same --seed/--tests "
+        "generates the same statements (findings depend on the "
+        "installed SQLite version).",
+    )
     real.add_argument("--tests", type=int, default=200)
     real.add_argument("--seed", type=int, default=0)
+
+    _add_corpus_parser(sub)
 
     args = parser.parse_args(argv)
 
@@ -149,11 +197,92 @@ def main(argv: list[str] | None = None) -> int:
             return _diff(args)
         if args.command == "compare":
             return _compare(args)
+        if args.command == "corpus":
+            return _corpus(args)
         return _sqlite3(args)
     except (ValueError, OSError) as exc:
-        # Bad config (e.g. --workers 0) or unusable --corpus path.
+        # Bad config (e.g. --workers 0), unusable --corpus path, or a
+        # malformed corpus file.
         print(f"coddtest: error: {exc}", file=sys.stderr)
         return 2
+
+
+def _add_corpus_parser(sub) -> None:
+    corpus = sub.add_parser(
+        "corpus",
+        help="triage JSONL bug corpora: report, merge, replay",
+        description="Load one or many corpus files (any fleet era; "
+        "entries without backend_pair load as single-engine), cluster "
+        "them by fault id, plan-fingerprint signature, and backend "
+        "pair, and render Table-1-style summaries. Deterministic: the "
+        "same input files render byte-identical output (stable cluster "
+        "order, no timestamps).",
+    )
+    csub = corpus.add_subparsers(dest="corpus_command", required=True)
+
+    report = csub.add_parser(
+        "report",
+        help="render a Table-1-style triage summary of corpus files",
+        description="Cluster corpus entries and render per-fault / "
+        "per-oracle counts plus one line per cluster (first-seen "
+        "shard/seed, reduced witness size, replay verdict). "
+        "Deterministic: two consecutive invocations on the same files "
+        "are byte-identical; replay drives only deterministic engines.",
+    )
+    report.add_argument("paths", nargs="+", metavar="CORPUS.jsonl")
+    report.add_argument(
+        "--format",
+        choices=("text", "markdown", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    report.add_argument(
+        "--no-replay",
+        action="store_true",
+        help="skip replay verification of cluster representatives",
+    )
+    report.add_argument(
+        "--dialect",
+        choices=sorted(PROFILES),
+        default=None,
+        help="override the MiniDB profile used for replay (default: "
+        "the dialect recorded per entry, else inferred from fault ids)",
+    )
+
+    merge = csub.add_parser(
+        "merge",
+        help="merge corpus files into one deduplicated corpus",
+        description="Deduplicate entries by fingerprint (first seen "
+        "wins, sighting counters accumulate) and write one merged "
+        "corpus. Deterministic: output entries are sorted by "
+        "fingerprint, so the same inputs write a byte-identical file.",
+    )
+    merge.add_argument("paths", nargs="+", metavar="CORPUS.jsonl")
+    merge.add_argument(
+        "--out", required=True, metavar="PATH", help="merged corpus path"
+    )
+
+    replay = csub.add_parser(
+        "replay",
+        help="replay-verify one representative witness per cluster",
+        description="Replay each cluster's best witness on a freshly "
+        "built engine (or backend pair) and print reproduces / stale / "
+        "unverifiable verdicts. Deterministic: replay drives only "
+        "deterministic engines, so verdicts repeat across invocations.",
+    )
+    replay.add_argument("paths", nargs="+", metavar="CORPUS.jsonl")
+    replay.add_argument(
+        "--dialect",
+        choices=sorted(PROFILES),
+        default=None,
+        help="override the MiniDB profile used for replay",
+    )
+    replay.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit nonzero when any cluster replays as stale "
+        "(unverifiable clusters have nothing to re-check and pass)",
+    )
 
 
 def _add_campaign_args(sub_parser, default_tests: int | None) -> None:
@@ -229,12 +358,16 @@ def _fleet(args) -> int:
         f"{result.merged.tests / max(result.wall_seconds, 1e-9):.1f} tests/s "
         f"across {config.workers} worker(s)"
     )
-    print(
-        f"bug corpus: {len(result.merged.reports)} reports -> "
-        f"{len(result.new_fingerprints)} new unique, "
-        f"{result.duplicate_reports} duplicates "
-        f"({known_before} known before, {len(corpus)} total)"
-    )
+    # End-of-run triage summary: the clustered corpus, not the raw
+    # entry count, is what a human acts on.
+    for line in triage_summary_lines(
+        result.clusters or [],
+        new_unique=len(result.new_fingerprints),
+        duplicates=result.duplicate_reports,
+    ):
+        print(line)
+    if known_before:
+        print(f"  ({known_before} known before this run, {len(corpus)} total)")
     if args.corpus:
         corpus.save()
         print(f"corpus saved to {args.corpus}")
@@ -314,12 +447,15 @@ def _diff(args) -> int:
         f"primary plans, {result.wall_seconds:.1f}s wall across "
         f"{config.workers} worker(s)"
     )
-    print(
-        f"divergences: {len(stats.reports)} report(s) -> "
-        f"{len(result.new_fingerprints)} new unique, "
-        f"{result.duplicate_reports} duplicates "
-        f"({known_before} known before, {len(corpus)} total)"
-    )
+    print(f"divergences: {len(stats.reports)} report(s)")
+    for line in triage_summary_lines(
+        result.clusters or [],
+        new_unique=len(result.new_fingerprints),
+        duplicates=result.duplicate_reports,
+    ):
+        print(line)
+    if known_before:
+        print(f"  ({known_before} known before this run, {len(corpus)} total)")
     if stats.detected_fault_ids:
         print("distinct injected bugs implicated:")
         for fid in sorted(stats.detected_fault_ids):
@@ -357,6 +493,59 @@ def _compare(args) -> int:
             f"QPT {stats.qpt:5.2f}  plans {len(stats.unique_plans):5d}  "
             f"coverage {100 * stats.branch_coverage:5.1f}%"
         )
+    return 0
+
+
+def _corpus(args) -> int:
+    if args.corpus_command == "report":
+        return _corpus_report(args)
+    if args.corpus_command == "merge":
+        return _corpus_merge(args)
+    return _corpus_replay(args)
+
+
+def _corpus_report(args) -> int:
+    clusters = cluster_corpus(load_corpus(args.paths))
+    verdicts = (
+        None
+        if args.no_replay
+        else replay_clusters(clusters, dialect=args.dialect)
+    )
+    print(render_triage(clusters, verdicts, fmt=args.format))
+    return 0
+
+
+def _corpus_merge(args) -> int:
+    merged = merge_corpora(args.paths, out_path=args.out)
+    total_seen = merged.total_seen
+    print(
+        f"merged {len(args.paths)} corpus file(s) -> {len(merged)} "
+        f"distinct bugs ({total_seen} sightings) in {args.out}"
+    )
+    return 0
+
+
+def _corpus_replay(args) -> int:
+    clusters = cluster_corpus(load_corpus(args.paths))
+    stale = 0
+    for cluster in clusters:
+        verdict = replay_representative(cluster, dialect=args.dialect)
+        if verdict.status == "stale":
+            stale += 1
+        witness = (
+            f" [{verdict.witness} witness]" if verdict.witness != "-" else ""
+        )
+        print(
+            f"{cluster.cluster_id}  {verdict.status:12s} "
+            f"[{cluster.kind}] {cluster.fault_label}{witness}: "
+            f"{verdict.detail}"
+        )
+    print(
+        f"\n{len(clusters)} cluster(s): {stale} stale, "
+        f"{len(clusters) - stale} reproducing or unverifiable"
+    )
+    if args.strict and stale:
+        return 1
     return 0
 
 

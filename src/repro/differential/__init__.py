@@ -13,6 +13,11 @@ The three layers:
 
 ``coddtest diff --backends minidb,sqlite3`` runs this stack sharded
 over the fleet orchestrator.
+
+Determinism guarantee: generation is seeded and both backends are
+deterministic engines, so the same ``(seed, workers, budget)`` replays
+the same differential campaign and reports the same divergences; a
+1-worker fleet bit-matches the serial campaign.
 """
 
 from __future__ import annotations

@@ -151,7 +151,15 @@ class DifferentialOracle(Oracle):
             # Ground-truth attribution: the fault (if any) fired on the
             # primary while producing the diverging result.
             self._fired |= self.adapter.fired_fault_ids()
-            return self.report(f"divergence: {exc}")
+            out = self.report(f"divergence: {exc}")
+            # Both engines' plans are the triage signature: the same
+            # statements diverging through different plan shapes are
+            # different behaviors (Query Plan Guidance).
+            primary_fp, secondary_fp = exc.fingerprints
+            out.plan_fingerprint = (
+                f"{primary_fp or '?'}|{secondary_fp or '?'}"
+            )
+            return out
         return None
 
     # -- reporting ----------------------------------------------------------------

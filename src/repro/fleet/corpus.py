@@ -8,6 +8,13 @@ each :class:`~repro.oracles_base.TestReport`, keeps one corpus entry per
 fingerprint, reduces the first-seen witness with the existing ddmin
 reducer, and persists everything as one JSON object per line so corpora
 can be appended to, merged, and resumed across fleet invocations.
+
+Determinism guarantee: fingerprints are pure functions of the
+normalized witness, so the same campaign always produces the same
+entry set; only sighting counters and provenance reflect scheduling.
+The on-disk format is append-only and era-tolerant -- entries written
+before a field existed (e.g. PR-1 corpora without ``backend_pair``)
+load with that field defaulted, never rejected.
 """
 
 from __future__ import annotations
@@ -65,7 +72,15 @@ def fingerprint_report(report: TestReport) -> str:
 
 @dataclass
 class CorpusEntry:
-    """One distinct bug with its first-seen witness."""
+    """One distinct bug with its first-seen witness.
+
+    Only the witness fields are guaranteed present: corpora are
+    append-only files spanning fleet eras, so every field added after
+    PR 1 (``backend_pair``, and the provenance quartet
+    ``plan_fingerprint`` / ``dialect`` / ``first_seen_shard`` /
+    ``first_seen_seed``) is optional and defaults to "unknown /
+    single-engine" on load.
+    """
 
     fingerprint: str
     oracle: str
@@ -77,6 +92,15 @@ class CorpusEntry:
     times_seen: int = 1
     #: (primary, secondary) backend names for differential findings.
     backend_pair: list[str] | None = None
+    #: Plan-fingerprint signature of the main query (triage clustering
+    #: signal); differential entries carry "primary|secondary".
+    plan_fingerprint: str | None = None
+    #: MiniDB profile of the campaign that found the bug.
+    dialect: str | None = None
+    #: Fleet provenance of the first sighting: which shard of which
+    #: ``--seed`` found it first (replay the fleet to re-find it).
+    first_seen_shard: int | None = None
+    first_seen_seed: int | None = None
 
     def to_dict(self) -> dict:
         return {
@@ -89,21 +113,45 @@ class CorpusEntry:
             "reduced_statements": self.reduced_statements,
             "times_seen": self.times_seen,
             "backend_pair": self.backend_pair,
+            "plan_fingerprint": self.plan_fingerprint,
+            "dialect": self.dialect,
+            "first_seen_shard": self.first_seen_shard,
+            "first_seen_seed": self.first_seen_seed,
         }
 
     @classmethod
     def from_dict(cls, data: dict) -> "CorpusEntry":
         pair = data.get("backend_pair")
+        shard = data.get("first_seen_shard")
+        seed = data.get("first_seen_seed")
+        fingerprint = data.get("fingerprint")
+        if fingerprint is None:
+            # Pre-corpus report dumps carry no fingerprint; recompute it
+            # from the witness so they cluster with modern entries.
+            fingerprint = fingerprint_report(
+                TestReport(
+                    oracle=data.get("oracle", "unknown"),
+                    kind=data["kind"],
+                    statements=list(data["statements"]),
+                    description=data.get("description", ""),
+                    fired_faults=frozenset(data.get("fired_faults", ())),
+                    backend_pair=tuple(pair) if pair else None,
+                )
+            )
         return cls(
-            fingerprint=data["fingerprint"],
-            oracle=data["oracle"],
+            fingerprint=fingerprint,
+            oracle=data.get("oracle", "unknown"),
             kind=data["kind"],
             statements=list(data["statements"]),
-            description=data["description"],
+            description=data.get("description", ""),
             fired_faults=list(data.get("fired_faults", ())),
             reduced_statements=data.get("reduced_statements"),
             times_seen=int(data.get("times_seen", 1)),
             backend_pair=list(pair) if pair else None,
+            plan_fingerprint=data.get("plan_fingerprint"),
+            dialect=data.get("dialect"),
+            first_seen_shard=None if shard is None else int(shard),
+            first_seen_seed=None if seed is None else int(seed),
         )
 
 
@@ -139,11 +187,20 @@ class BugCorpus:
 
     # -- mutation ----------------------------------------------------------------
 
-    def add(self, report: TestReport) -> bool:
+    def add(
+        self,
+        report: TestReport,
+        *,
+        shard_index: int | None = None,
+        seed: int | None = None,
+        dialect: str | None = None,
+    ) -> bool:
         """Record *report*; True iff its fingerprint is new.
 
         First-seen bugs are reduced (when a reducer is configured)
-        before persisting; duplicates just bump ``times_seen``.
+        before persisting; duplicates just bump ``times_seen``.  The
+        keyword arguments stamp fleet provenance (first-seen shard,
+        fleet seed, dialect) onto first-seen entries for triage.
         """
         fp = fingerprint_report(report)
         entry = self.entries.get(fp)
@@ -162,6 +219,10 @@ class BugCorpus:
                 if report.backend_pair is not None
                 else None
             ),
+            plan_fingerprint=report.plan_fingerprint,
+            dialect=dialect,
+            first_seen_shard=shard_index,
+            first_seen_seed=seed,
         )
         if self.reduce_fn is not None:
             entry.reduced_statements = self.reduce_fn(report)
@@ -184,14 +245,22 @@ class BugCorpus:
                 mine.times_seen += entry.times_seen
         return new
 
-    def save(self, path: str | None = None) -> None:
-        """Rewrite the backing file with current counters."""
+    def save(self, path: str | None = None, *, sort: bool = False) -> None:
+        """Rewrite the backing file with current counters.
+
+        ``sort=True`` orders entries by fingerprint instead of first-seen
+        order, so merging the same inputs always writes a byte-identical
+        file (``coddtest corpus merge`` relies on this).
+        """
         target = path or self.path
         if target is None:
             raise ValueError("no path given and corpus has no backing file")
+        entries = list(self.entries.values())
+        if sort:
+            entries.sort(key=lambda e: e.fingerprint)
         tmp = target + ".tmp"
         with open(tmp, "w", encoding="utf-8") as fh:
-            for entry in self.entries.values():
+            for entry in entries:
                 fh.write(json.dumps(entry.to_dict(), sort_keys=True) + "\n")
         os.replace(tmp, target)
 

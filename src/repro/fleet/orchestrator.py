@@ -119,6 +119,10 @@ class FleetResult:
     new_fingerprints: list[str] = field(default_factory=list)
     duplicate_reports: int = 0
     corpus: BugCorpus | None = None
+    #: End-of-run triage of the (whole) attached corpus: clusters keyed
+    #: by fault ids, plan signature, and backend pair, in stable order.
+    #: None when the fleet ran without a corpus.
+    clusters: "list | None" = None
 
 
 def build_shards(config: FleetConfig) -> list[ShardSpec]:
@@ -238,8 +242,11 @@ class _CorpusSink:
     corpus' append-on-add crash-safety), and tracks the new/duplicate
     split for progress lines and the final result."""
 
-    def __init__(self, corpus: BugCorpus | None) -> None:
+    def __init__(
+        self, corpus: BugCorpus | None, config: "FleetConfig | None" = None
+    ) -> None:
         self.corpus = corpus
+        self.config = config
         self.new_fingerprints: list[str] = []
         self.duplicates = 0
         #: Reports already absorbed per shard (progress streaming).
@@ -251,8 +258,16 @@ class _CorpusSink:
         self.absorbed[shard_index] = (
             self.absorbed.get(shard_index, 0) + len(reports)
         )
+        seed = self.config.seed if self.config is not None else None
+        dialect = self.config.dialect if self.config is not None else None
         for report in reports:
-            if self.corpus.add(report):
+            added = self.corpus.add(
+                report,
+                shard_index=shard_index,
+                seed=seed,
+                dialect=dialect,
+            )
+            if added:
                 self.new_fingerprints.append(fingerprint_report(report))
             else:
                 self.duplicates += 1
@@ -277,10 +292,14 @@ def run_fleet(
     """Run a sharded campaign and merge the results.
 
     *corpus* (optional) deduplicates reports across shards and past
-    invocations; *printer* (optional) emits periodic progress lines.
+    invocations (first-seen entries are stamped with shard/seed/dialect
+    provenance); *printer* (optional) emits periodic progress lines.
+    The result is deterministic for a given ``(seed, workers, budget)``:
+    shard stats merge in spec order and the corpus holds the same entry
+    set regardless of scheduling.
     """
     shards = build_shards(config)
-    sink = _CorpusSink(corpus)
+    sink = _CorpusSink(corpus, config)
     start = time.monotonic()
     if config.workers == 1:
         shard_stats = [_run_one_inprocess(shards[0], sink, printer, start)]
@@ -304,8 +323,18 @@ def run_fleet(
         new_fingerprints=sink.new_fingerprints,
         duplicate_reports=sink.duplicates,
     )
+    if corpus is not None:
+        # End-of-run triage: the raw entry count is not the unit of
+        # truth, the clustered corpus is (ROADMAP "Corpus triage").
+        # Imported lazily: the triage package reads corpus entries, so
+        # importing it at module level would be circular.
+        from repro.triage.cluster import cluster_corpus
+
+        result.clusters = cluster_corpus(corpus.entries.values())
     if printer is not None:
-        printer.final(_snapshot(shard_stats, config, wall, sink))
+        printer.final(
+            _snapshot(shard_stats, config, wall, sink, result.clusters)
+        )
     return result
 
 
@@ -478,6 +507,7 @@ def _snapshot(
     config: FleetConfig,
     wall: float,
     sink: _CorpusSink,
+    clusters: "list | None" = None,
 ) -> ProgressSnapshot:
     merged = CampaignStats.merge(shard_stats)
     return ProgressSnapshot(
@@ -492,6 +522,7 @@ def _snapshot(
         # Newly fingerprinted this run, so a resumed corpus shows how
         # much of the run was already-known bugs.
         unique_reports=sink.unique,
+        clusters=None if clusters is None else len(clusters),
     )
 
 

@@ -3,7 +3,9 @@
 The orchestrator aggregates the latest per-shard snapshots and hands
 them here; this module owns formatting and rate-limiting so campaign
 logic never touches a terminal.  Lines go to stderr by default, keeping
-stdout clean for the rendered result tables.
+stdout clean for the rendered result tables.  Progress lines are the
+one deliberately non-deterministic surface (they report wall-clock
+throughput); everything on stdout stays a pure function of the seed.
 """
 
 from __future__ import annotations
@@ -27,6 +29,9 @@ class ProgressSnapshot:
     queries_err: int = 0
     reports: int = 0
     unique_reports: int | None = None  # None when no corpus is attached
+    #: Root-cause clusters in the attached corpus (end-of-run triage);
+    #: None when no corpus is attached or while the fleet is running.
+    clusters: int | None = None
 
     @property
     def tests_per_second(self) -> float:
@@ -84,4 +89,6 @@ def format_progress(snap: ProgressSnapshot, final: bool = False) -> str:
         )
     else:
         parts.append(f"{snap.reports} reports")
+    if snap.clusters is not None:
+        parts.append(f"{snap.clusters} clusters")
     return " | ".join(parts)

@@ -41,6 +41,10 @@ class TestReport:
     #: ``(primary, secondary)`` backend names for differential reports;
     #: None for single-engine oracles.
     backend_pair: tuple[str, str] | None = None
+    #: Plan-fingerprint signature of the test's main query (the triage
+    #: clustering signal); differential reports carry both plans joined
+    #: as ``"primary|secondary"``.  None when no main query ran.
+    plan_fingerprint: str | None = None
 
     def to_dict(self) -> dict:
         """JSON-compatible form (used by the fleet bug corpus)."""
@@ -53,6 +57,8 @@ class TestReport:
         }
         if self.backend_pair is not None:
             out["backend_pair"] = list(self.backend_pair)
+        if self.plan_fingerprint is not None:
+            out["plan_fingerprint"] = self.plan_fingerprint
         return out
 
     @classmethod
@@ -65,6 +71,7 @@ class TestReport:
             description=data["description"],
             fired_faults=frozenset(data.get("fired_faults", ())),
             backend_pair=tuple(pair) if pair else None,
+            plan_fingerprint=data.get("plan_fingerprint"),
         )
 
 
@@ -137,6 +144,10 @@ class Oracle(abc.ABC):
         if report is not None:
             report.fired_faults = frozenset(self._fired)
             report.statements = list(self._statements)
+            if report.plan_fingerprint is None:
+                # Oracles that know a richer signature (the differential
+                # oracle joins both engines' plans) set it themselves.
+                report.plan_fingerprint = self._fingerprint
             out = self._outcome("bug")
             out.report = report
             return out
@@ -165,6 +176,7 @@ class Oracle(abc.ABC):
             statements=list(self._statements),
             description=message,
             fired_faults=frozenset(self._fired),
+            plan_fingerprint=self._fingerprint,
         )
         return out
 

@@ -1,4 +1,12 @@
-"""Paper-style rendering of campaign results."""
+"""Paper-style rendering of campaign results.
+
+Two families live here: the paper's own tables and figures
+(:mod:`repro.report.tables`, fed by the benchmark harness), and the
+corpus triage summaries (:mod:`repro.triage.render`, re-exported for
+one-stop imports).  Every renderer is a pure function of its measured
+inputs -- no timestamps, no environment probes -- so rendering the
+same data twice is byte-identical.
+"""
 
 from repro.report.tables import (
     render_detection_table,
@@ -7,6 +15,12 @@ from repro.report.tables import (
     render_maxdepth_series,
     render_table1,
 )
+from repro.triage.render import (
+    render_triage,
+    render_triage_json,
+    render_triage_markdown,
+    render_triage_text,
+)
 
 __all__ = [
     "render_table1",
@@ -14,4 +28,8 @@ __all__ = [
     "render_efficiency_table",
     "render_fleet_table",
     "render_maxdepth_series",
+    "render_triage",
+    "render_triage_json",
+    "render_triage_markdown",
+    "render_triage_text",
 ]

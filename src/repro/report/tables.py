@@ -2,7 +2,9 @@
 
 Each function takes measured data (produced by the benchmark harness or
 the examples) and renders a table in the same row/column layout as the
-paper, so paper-vs-measured comparison is a visual diff.
+paper, so paper-vs-measured comparison is a visual diff.  Every
+renderer is deterministic in its inputs: no timestamps, no environment
+probes -- the same data renders byte-identically.
 """
 
 from __future__ import annotations

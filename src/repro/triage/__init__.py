@@ -1,0 +1,53 @@
+"""Corpus triage: from raw JSONL bug corpora to Table-1-style reports.
+
+A 4-worker overnight fleet leaves thousands of raw corpus entries; what
+a human needs is the set of *root causes*.  The paper's evaluation
+(Table 1) groups findings per DBMS and per oracle, Query Plan Guidance
+(Ba & Rigger 2023) uses plan fingerprints to distinguish behaviors, and
+"Scaling Automated Database System Testing" (Zhong & Rigger 2025) shows
+campaign scale is only useful when triage keeps pace.  This package is
+that layer:
+
+* :mod:`repro.triage.loader` -- load one or many corpus JSONL files
+  (fleet and differential, tolerating PR-1-era entries that predate the
+  ``backend_pair`` and provenance fields),
+* :mod:`repro.triage.cluster` -- cluster entries by ground-truth fault
+  ids, plan-fingerprint signature, and backend pair,
+* :mod:`repro.triage.replay` -- replay-verify one representative per
+  cluster against a live engine (reproduces vs. stale vs. unverifiable),
+* :mod:`repro.triage.render` -- deterministic Table-1-style summaries
+  as text, Markdown, and JSON (stable cluster ordering, no timestamps).
+
+Determinism guarantee: every function here is a pure function of the
+corpus entries (and, for replay, of the deterministic engines they are
+replayed on) -- rendering the same corpus twice yields byte-identical
+output.
+"""
+
+from repro.triage.cluster import Cluster, cluster_corpus, cluster_key
+from repro.triage.loader import iter_corpus_file, load_corpus, merge_corpora
+from repro.triage.render import (
+    render_triage,
+    render_triage_json,
+    render_triage_markdown,
+    render_triage_text,
+    triage_summary_lines,
+)
+from repro.triage.replay import ReplayVerdict, replay_clusters, replay_representative
+
+__all__ = [
+    "Cluster",
+    "cluster_corpus",
+    "cluster_key",
+    "iter_corpus_file",
+    "load_corpus",
+    "merge_corpora",
+    "ReplayVerdict",
+    "replay_clusters",
+    "replay_representative",
+    "render_triage",
+    "render_triage_json",
+    "render_triage_markdown",
+    "render_triage_text",
+    "triage_summary_lines",
+]

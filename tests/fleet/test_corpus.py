@@ -126,6 +126,72 @@ class TestBugCorpus:
             seen = set(corpus.entries)
         assert len(seen) == 3
 
+    def test_provenance_stamped_on_first_seen_only(self, tmp_path):
+        path = str(tmp_path / "bugs.jsonl")
+        corpus = BugCorpus.open(path)
+        corpus.add(make_report(), shard_index=2, seed=9, dialect="sqlite")
+        # A later sighting from another shard must not overwrite the
+        # first-seen provenance.
+        corpus.add(make_report(), shard_index=0, seed=9, dialect="sqlite")
+        corpus.save()
+
+        (entry,) = BugCorpus.open(path).entries.values()
+        assert entry.first_seen_shard == 2
+        assert entry.first_seen_seed == 9
+        assert entry.dialect == "sqlite"
+        assert entry.times_seen == 2
+
+    def test_plan_fingerprint_round_trips(self, tmp_path):
+        path = str(tmp_path / "bugs.jsonl")
+        corpus = BugCorpus.open(path)
+        report = make_report()
+        report.plan_fingerprint = "SEL(SCAN(t0))"
+        corpus.add(report)
+        corpus.save()
+        (entry,) = BugCorpus.open(path).entries.values()
+        assert entry.plan_fingerprint == "SEL(SCAN(t0))"
+
+    def test_pr1_era_line_without_new_fields_loads(self, tmp_path):
+        # The exact PR-1 on-disk shape: none of the post-PR-1 keys.
+        import json
+
+        path = tmp_path / "old.jsonl"
+        path.write_text(
+            json.dumps(
+                {
+                    "fingerprint": "0123456789abcdef",
+                    "oracle": "coddtest",
+                    "kind": "logic",
+                    "statements": ["SELECT 1"],
+                    "description": "old",
+                    "fired_faults": ["f1"],
+                    "reduced_statements": None,
+                    "times_seen": 2,
+                }
+            )
+            + "\n"
+        )
+        loaded = BugCorpus.open(str(path))
+        (entry,) = loaded.entries.values()
+        assert entry.backend_pair is None
+        assert entry.plan_fingerprint is None
+        assert entry.first_seen_shard is None
+        assert entry.dialect is None
+
+    def test_sorted_save_is_deterministic(self, tmp_path):
+        a = BugCorpus(path=str(tmp_path / "a.jsonl"))
+        b = BugCorpus(path=str(tmp_path / "b.jsonl"))
+        r1, r2 = make_report(), make_report(statements=["SELECT 2"])
+        for report in (r1, r2):
+            a.add(report)
+        for report in (r2, r1):  # reversed discovery order
+            b.add(report)
+        a.save(sort=True)
+        b.save(sort=True)
+        path_a = tmp_path / "a.jsonl"
+        path_b = tmp_path / "b.jsonl"
+        assert path_a.read_bytes() == path_b.read_bytes()
+
     def test_merge_counts_new_entries(self):
         a = BugCorpus()
         a.add(make_report())

@@ -171,7 +171,7 @@ class TestFleetCli:
         assert rc == 0
         out = capsys.readouterr().out
         assert "merged" in out
-        assert "bug corpus:" in out
+        assert "corpus triage:" in out
 
     def test_fleet_multi_worker_with_corpus_resume(self, tmp_path, capsys):
         corpus = str(tmp_path / "bugs.jsonl")
@@ -192,3 +192,63 @@ class TestFleetCli:
         assert cli_main(argv) == 0
         second = capsys.readouterr().out
         assert "0 new unique" in second
+
+
+class TestCorpusCli:
+    def _seed_corpus(self, tmp_path, workers="2") -> str:
+        path = str(tmp_path / "bugs.jsonl")
+        rc = cli_main(
+            ["fleet", "--tests", "150", "--workers", workers, "--buggy",
+             "--seed", "3", "--quiet", "--corpus", path]
+        )
+        assert rc == 0
+        return path
+
+    def test_report_is_deterministic_and_replay_verified(
+        self, tmp_path, capsys
+    ):
+        # The acceptance scenario: a 4-worker fleet corpus, reported
+        # twice, byte-identical, with replay-verified clusters.
+        path = self._seed_corpus(tmp_path, workers="4")
+        capsys.readouterr()
+
+        assert cli_main(["corpus", "report", path]) == 0
+        first = capsys.readouterr().out
+        assert cli_main(["corpus", "report", path]) == 0
+        second = capsys.readouterr().out
+        assert first == second  # byte-identical consecutive invocations
+        assert "corpus triage:" in first
+        assert "Replay" in first
+        assert "reproduces" in first
+
+    def test_report_formats(self, tmp_path, capsys):
+        path = self._seed_corpus(tmp_path)
+        capsys.readouterr()
+        assert cli_main(
+            ["corpus", "report", path, "--format", "json", "--no-replay"]
+        ) == 0
+        out = capsys.readouterr().out
+        import json
+
+        data = json.loads(out)
+        assert data["summary"]["clusters"] >= 1
+        assert cli_main(
+            ["corpus", "report", path, "--format", "markdown", "--no-replay"]
+        ) == 0
+        assert "| Fault |" in capsys.readouterr().out
+
+    def test_merge_and_replay(self, tmp_path, capsys):
+        path = self._seed_corpus(tmp_path)
+        merged = str(tmp_path / "merged.jsonl")
+        capsys.readouterr()
+        assert cli_main(["corpus", "merge", path, path, "--out", merged]) == 0
+        assert "distinct bugs" in capsys.readouterr().out
+
+        assert cli_main(["corpus", "replay", merged]) == 0
+        out = capsys.readouterr().out
+        assert "0 stale" in out
+
+    def test_report_rejects_missing_file(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope.jsonl")
+        assert cli_main(["corpus", "report", missing]) == 2
+        assert "error" in capsys.readouterr().err

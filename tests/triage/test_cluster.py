@@ -1,0 +1,128 @@
+"""Clustering: key identity, representatives, deterministic ordering."""
+
+from repro.fleet.corpus import CorpusEntry
+from repro.triage import Cluster, cluster_corpus, cluster_key
+
+
+def make_entry(
+    fingerprint="e000000000000001",
+    faults=("sqlite_having_between",),
+    plan="SEL(SCAN(t0))",
+    pair=None,
+    kind="logic",
+    statements=None,
+    reduced=None,
+    times_seen=1,
+    shard=None,
+    seed=None,
+):
+    return CorpusEntry(
+        fingerprint=fingerprint,
+        oracle="coddtest",
+        kind=kind,
+        statements=list(statements or ["CREATE TABLE t0 (c0 INT)", "SELECT 1"]),
+        description="d",
+        fired_faults=list(faults),
+        reduced_statements=reduced,
+        times_seen=times_seen,
+        backend_pair=list(pair) if pair else None,
+        plan_fingerprint=plan,
+        first_seen_shard=shard,
+        first_seen_seed=seed,
+    )
+
+
+class TestClusterKey:
+    def test_same_fault_plan_pair_kind_share_a_key(self):
+        a = make_entry(fingerprint="e1")
+        b = make_entry(fingerprint="e2", statements=["SELECT 2"])
+        assert cluster_key(a) == cluster_key(b)
+
+    def test_each_component_splits(self):
+        base = make_entry()
+        assert cluster_key(base) != cluster_key(
+            make_entry(faults=("sqlite_view_join_where",))
+        )
+        assert cluster_key(base) != cluster_key(make_entry(plan="OTHER"))
+        assert cluster_key(base) != cluster_key(
+            make_entry(pair=("minidb[sqlite]", "sqlite3"))
+        )
+        assert cluster_key(base) != cluster_key(make_entry(kind="crash"))
+
+    def test_fault_order_is_not_identity(self):
+        a = make_entry(faults=("f_a", "f_b"))
+        b = make_entry(faults=("f_b", "f_a"))
+        assert cluster_key(a) == cluster_key(b)
+
+
+class TestClustering:
+    def test_groups_and_counts(self):
+        entries = [
+            make_entry(fingerprint="e1", times_seen=3),
+            make_entry(fingerprint="e2", times_seen=2),
+            make_entry(fingerprint="e3", plan="OTHER"),
+        ]
+        clusters = cluster_corpus(entries)
+        assert len(clusters) == 2
+        assert sorted(len(c.entries) for c in clusters) == [1, 2]
+        big = max(clusters, key=lambda c: len(c.entries))
+        assert big.sightings == 5
+
+    def test_representative_prefers_reduced_then_shortest(self):
+        long = make_entry(
+            fingerprint="e1", statements=["a", "b", "c", "d", "e"]
+        )
+        reduced = make_entry(
+            fingerprint="e2",
+            statements=["a", "b", "c", "d"],
+            reduced=["a", "d"],
+        )
+        (cluster,) = cluster_corpus([long, reduced])
+        assert cluster.representative.fingerprint == reduced.fingerprint
+        assert cluster.witness_statements == ["a", "d"]
+        assert cluster.reduced_size == 2
+
+    def test_first_seen_is_input_order(self):
+        first = make_entry(fingerprint="e9", shard=2, seed=7)
+        second = make_entry(fingerprint="e1", shard=0, seed=7)
+        (cluster,) = cluster_corpus([first, second])
+        assert cluster.first_seen.fingerprint == first.fingerprint
+        assert cluster.first_seen.first_seen_shard == 2
+
+    def test_cluster_id_is_order_independent(self):
+        entries = [make_entry(fingerprint=f"e{i}") for i in range(3)]
+        (a,) = cluster_corpus(entries)
+        (b,) = cluster_corpus(list(reversed(entries)))
+        assert a.cluster_id == b.cluster_id
+
+    def test_stable_sort_ground_truth_first(self):
+        clusters = cluster_corpus(
+            [
+                make_entry(fingerprint="e1", faults=(), plan="ZZZ"),
+                make_entry(fingerprint="e2", faults=("a_fault",)),
+                make_entry(fingerprint="e3", faults=("b_fault",)),
+            ]
+        )
+        labels = [c.fault_label for c in clusters]
+        assert labels == ["a_fault", "b_fault", "(no ground truth)"]
+
+    def test_duplicate_fingerprints_collapse_without_mutating_input(self):
+        # The same bug loaded from two overlapping corpus files must
+        # count once, with sightings accumulated.
+        a = make_entry(fingerprint="e1", times_seen=3)
+        b = make_entry(fingerprint="e1", times_seen=2)
+        (cluster,) = cluster_corpus([a, b])
+        assert len(cluster.entries) == 1
+        assert cluster.sightings == 5
+        assert a.times_seen == 3  # inputs untouched
+        assert b.times_seen == 2
+
+    def test_labels(self):
+        (c,) = cluster_corpus(
+            [make_entry(pair=("minidb[sqlite]", "sqlite3"))]
+        )
+        assert c.backend_label == "minidb[sqlite]|sqlite3"
+        assert isinstance(c, Cluster)
+        (single,) = cluster_corpus([make_entry(plan=None)])
+        assert single.backend_label == "single"
+        assert single.plan_label == "-"

@@ -1,0 +1,115 @@
+"""Golden-file rendering: ``corpus report`` output is byte-stable.
+
+The fixtures pin the exact text/Markdown/JSON bytes rendered from a
+small mixed corpus (single-engine, differential, and a PR-1-era entry
+without the ``backend_pair`` field).  Any rendering drift -- column
+widths, ordering, new fields -- must show up here as an intentional
+fixture update, never as silent churn.
+
+Regenerate after an intentional change with::
+
+    for fmt in text markdown json; do
+      PYTHONPATH=src python -m repro.cli corpus report \
+        tests/triage/fixtures/corpus_small.jsonl --format $fmt \
+        --no-replay > tests/triage/fixtures/golden_report.$fmt
+    done
+"""
+
+import pathlib
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.triage import cluster_corpus, load_corpus, render_triage
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+CORPUS = str(FIXTURES / "corpus_small.jsonl")
+
+
+def golden(name: str) -> str:
+    return (FIXTURES / name).read_text(encoding="utf-8")
+
+
+@pytest.mark.parametrize(
+    "fmt,golden_name",
+    [
+        ("text", "golden_report.text"),
+        ("markdown", "golden_report.markdown"),
+        ("json", "golden_report.json"),
+    ],
+)
+class TestGoldenRender:
+    def test_render_matches_golden_byte_for_byte(self, fmt, golden_name):
+        clusters = cluster_corpus(load_corpus(CORPUS))
+        rendered = render_triage(clusters, None, fmt=fmt) + "\n"
+        assert rendered == golden(golden_name)
+
+    def test_cli_matches_golden_byte_for_byte(
+        self, fmt, golden_name, capsys
+    ):
+        rc = cli_main(
+            ["corpus", "report", CORPUS, "--format", fmt, "--no-replay"]
+        )
+        assert rc == 0
+        assert capsys.readouterr().out == golden(golden_name)
+
+    def test_two_invocations_are_byte_identical(self, fmt, golden_name):
+        clusters = cluster_corpus(load_corpus(CORPUS))
+        first = render_triage(clusters, None, fmt=fmt)
+        second = render_triage(
+            cluster_corpus(load_corpus(CORPUS)), None, fmt=fmt
+        )
+        assert first == second
+
+
+class TestGoldenContent:
+    """Sanity anchors so a fixture regeneration can't hide a bug."""
+
+    def test_pr1_entry_renders_with_unknown_provenance(self):
+        text = golden("golden_report.text")
+        assert "?/?" in text  # PR-1 entry has no first-seen shard/seed
+        assert "sqlite_ie_corr_group_subquery" in text
+
+    def test_cross_oracle_cluster_is_one_line(self):
+        # Two entries (coddtest + norec) share fault and plan: 1 cluster.
+        text = golden("golden_report.text")
+        assert "coddtest/norec" in text
+
+    def test_differential_backends_rendered(self):
+        assert "minidb[sqlite]|sqlite3" in golden("golden_report.text")
+        assert "minidb[sqlite]\\|sqlite3" in golden("golden_report.markdown")
+
+    def test_json_carries_full_plan_signature(self):
+        assert '"SEL(SCAN(t0);G[1];AGG)"' in golden("golden_report.json")
+
+    def test_overlapping_files_do_not_double_count(self):
+        # The same file twice is the same corpus: identical report.
+        once = render_triage(
+            cluster_corpus(load_corpus(CORPUS)), None, fmt="text"
+        )
+        twice = render_triage(
+            cluster_corpus(load_corpus([CORPUS, CORPUS])), None, fmt="text"
+        )
+        assert "5 distinct bugs" in once
+        assert once.splitlines()[0] != twice.splitlines()[0]  # sightings doubled
+        assert "5 distinct bugs" in twice
+        assert "in 4 cluster(s)" in twice
+
+    def test_multi_fault_cluster_counts_once_in_total_row(self):
+        from repro.fleet.corpus import CorpusEntry
+
+        entry = CorpusEntry(
+            fingerprint="multi000000000001",
+            oracle="coddtest",
+            kind="logic",
+            statements=["SELECT 1"],
+            description="d",
+            fired_faults=["fault_a", "fault_b"],
+        )
+        text = render_triage(cluster_corpus([entry]), None, fmt="text")
+        assert "in 1 cluster(s)" in text
+        total = next(
+            line for line in text.splitlines() if line.startswith("Total")
+        )
+        # One cluster, two fault rows -- the Total row counts it once.
+        assert total.split() == ["Total", "1", "0", "0", "0", "1", "1"]

@@ -1,0 +1,154 @@
+"""Replay verification: reproduces / stale / unverifiable verdicts."""
+
+from repro.fleet import BugCorpus, FleetConfig, make_replay_reducer, run_fleet
+from repro.triage import cluster_corpus, replay_clusters, replay_representative
+from repro.fleet.corpus import CorpusEntry
+from repro.triage.replay import (
+    REPRODUCES,
+    STALE,
+    UNVERIFIABLE,
+    infer_dialect,
+    parse_backend_name,
+)
+
+
+def make_entry(
+    fingerprint="e000000000000001",
+    faults=("sqlite_having_between",),
+    plan="SEL(SCAN(t0))",
+    pair=None,
+    kind="logic",
+    statements=None,
+):
+    return CorpusEntry(
+        fingerprint=fingerprint,
+        oracle="coddtest",
+        kind=kind,
+        statements=list(statements or ["CREATE TABLE t0 (c0 INT)", "SELECT 1"]),
+        description="d",
+        fired_faults=list(faults),
+        backend_pair=list(pair) if pair else None,
+        plan_fingerprint=plan,
+    )
+
+
+class TestParseBackendName:
+    def test_minidb_display_name_carries_dialect(self):
+        assert parse_backend_name("minidb[duckdb]") == ("minidb", "duckdb")
+
+    def test_plain_names_pass_through(self):
+        assert parse_backend_name("sqlite3") == ("sqlite3", None)
+
+    def test_infer_dialect_prefers_recorded_then_pair_then_fault(self):
+        (c,) = cluster_corpus([make_entry()])
+        c.entries[0].dialect = "tidb"
+        assert infer_dialect(c) == "tidb"
+        (c2,) = cluster_corpus(
+            [make_entry(pair=("minidb[duckdb]", "sqlite3"), faults=())]
+        )
+        assert infer_dialect(c2) == "duckdb"
+        (c3,) = cluster_corpus([make_entry(faults=("sqlite_having_between",))])
+        assert infer_dialect(c3) == "sqlite"
+
+
+class TestVerdicts:
+    def test_unverifiable_logic_without_ground_truth(self):
+        (c,) = cluster_corpus([make_entry(faults=())])
+        assert replay_representative(c).status == UNVERIFIABLE
+
+    def test_unverifiable_unknown_backend(self):
+        (c,) = cluster_corpus([make_entry(pair=("minidb[sqlite]", "oracledb"))])
+        assert replay_representative(c).status == UNVERIFIABLE
+
+    def test_stale_when_faults_never_fire(self):
+        # A valid program that cannot trigger the recorded fault.
+        (c,) = cluster_corpus(
+            [
+                make_entry(
+                    faults=("sqlite_having_between",),
+                    statements=[
+                        "CREATE TABLE t0 (c0 INT)",
+                        "SELECT * FROM t0",
+                    ],
+                )
+            ]
+        )
+        verdict = replay_representative(c)
+        assert verdict.status == STALE
+
+    def test_stale_when_witness_no_longer_parses(self):
+        (c,) = cluster_corpus(
+            [
+                make_entry(
+                    faults=("sqlite_having_between",),
+                    statements=["SELECT FROM WHERE !!"],
+                )
+            ]
+        )
+        verdict = replay_representative(c)
+        assert verdict.status == STALE
+        assert "no longer executes" in verdict.detail
+
+    def test_differential_pair_that_agrees_is_stale(self):
+        (c,) = cluster_corpus(
+            [
+                make_entry(
+                    pair=("minidb[sqlite]", "sqlite3"),
+                    faults=(),
+                    statements=[
+                        "CREATE TABLE t0 (c0 INT)",
+                        "INSERT INTO t0 VALUES (1)",
+                        "SELECT c0 FROM t0",
+                    ],
+                )
+            ]
+        )
+        verdict = replay_representative(c)
+        assert verdict.status == STALE
+        assert "agree" in verdict.detail
+
+
+class TestFleetRoundTrip:
+    """Acceptance: clusters of a real buggy fleet replay as reproducing."""
+
+    def test_single_engine_clusters_reproduce(self, tmp_path):
+        config = FleetConfig(workers=2, n_tests=200, buggy=True, seed=3)
+        corpus = BugCorpus.open(
+            str(tmp_path / "bugs.jsonl"),
+            reduce_fn=make_replay_reducer(config),
+        )
+        run_fleet(config, corpus=corpus)
+        clusters = cluster_corpus(corpus.entries.values())
+        assert clusters, "a buggy 200-test fleet must find bugs"
+        verdicts = replay_clusters(clusters)
+        assert set(verdicts) == {c.cluster_id for c in clusters}
+        statuses = {v.status for v in verdicts.values()}
+        assert REPRODUCES in statuses
+        # Ground-truth witnesses replayed on the same engine never go
+        # stale: the catalog did not change under the test.
+        assert all(
+            v.status in (REPRODUCES, UNVERIFIABLE) for v in verdicts.values()
+        )
+
+    def test_differential_clusters_reproduce(self, tmp_path):
+        config = FleetConfig(
+            oracle="differential",
+            backend_pair=("minidb", "sqlite3"),
+            workers=1,
+            n_tests=200,
+            buggy=True,
+            seed=7,
+        )
+        corpus = BugCorpus.open(str(tmp_path / "div.jsonl"))
+        run_fleet(config, corpus=corpus)
+        clusters = cluster_corpus(corpus.entries.values())
+        assert clusters, "a buggy 200-test diff fleet must find divergences"
+        verdicts = replay_clusters(clusters)
+        assert any(v.status == REPRODUCES for v in verdicts.values())
+
+    def test_replay_is_deterministic(self, tmp_path):
+        config = FleetConfig(workers=1, n_tests=120, buggy=True, seed=5)
+        corpus = BugCorpus.open(str(tmp_path / "bugs.jsonl"))
+        run_fleet(config, corpus=corpus)
+        clusters = cluster_corpus(corpus.entries.values())
+        assert replay_clusters(clusters) == replay_clusters(clusters)

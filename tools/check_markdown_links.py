@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Markdown link check for README.md and docs/ (stdlib only).
+
+Validates that every relative link and image target in the given
+Markdown files resolves to an existing file or directory, and that
+in-document anchors (``#section``) match a heading.  External links
+(http/https/mailto) are *not* fetched -- CI must not depend on network
+weather -- only their syntax is accepted.
+
+Exit status: 0 when every link resolves, 1 otherwise (one diagnostic
+line per broken link, ``file:line: target``).
+
+Usage::
+
+    python tools/check_markdown_links.py README.md docs/*.md
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Inline links/images: [text](target) / ![alt](target); reference
+#: definitions: [label]: target
+_INLINE = re.compile(r"!?\[[^\]]*\]\(([^()\s]+(?:\([^()]*\))?)\)")
+_REFDEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+_HEADING = re.compile(r"^#{1,6}\s+(.+?)\s*$", re.MULTILINE)
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def github_anchor(heading: str) -> str:
+    """GitHub's heading -> anchor slug (lowercase, spaces to dashes,
+    punctuation dropped)."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def strip_code(markdown: str) -> str:
+    """Drop fenced code blocks and inline code spans: example snippets
+    are not links."""
+    no_fences = re.sub(r"```.*?```", "", markdown, flags=re.DOTALL)
+    return re.sub(r"`[^`\n]*`", "", no_fences)
+
+
+def check_file(path: Path) -> list[str]:
+    markdown = path.read_text(encoding="utf-8")
+    prose = strip_code(markdown)
+    # Anchors come from the code-stripped prose too: '#'-prefixed
+    # comment lines inside fenced blocks are not headings.
+    anchors = {github_anchor(h) for h in _HEADING.findall(prose)}
+    errors = []
+    targets = _INLINE.findall(prose) + _REFDEF.findall(prose)
+    for target in targets:
+        if target.startswith(_EXTERNAL):
+            continue
+        base, _, fragment = target.partition("#")
+        if not base:  # same-document anchor
+            if fragment and github_anchor(fragment) not in anchors:
+                errors.append(f"{path}: missing anchor #{fragment}")
+            continue
+        resolved = (path.parent / base).resolve()
+        if not resolved.exists():
+            errors.append(f"{path}: broken link {target}")
+            continue
+        if fragment:
+            linked = resolved
+            if linked.is_file() and linked.suffix in (".md", ".markdown"):
+                linked_anchors = {
+                    github_anchor(h)
+                    for h in _HEADING.findall(
+                        strip_code(linked.read_text(encoding="utf-8"))
+                    )
+                }
+                if github_anchor(fragment) not in linked_anchors:
+                    errors.append(
+                        f"{path}: missing anchor {target}"
+                    )
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print(
+            "usage: check_markdown_links.py FILE.md [FILE.md ...]",
+            file=sys.stderr,
+        )
+        return 2
+    errors: list[str] = []
+    checked = 0
+    for arg in argv:
+        path = Path(arg)
+        if not path.exists():
+            errors.append(f"{path}: file not found")
+            continue
+        checked += 1
+        errors.extend(check_file(path))
+    for error in errors:
+        print(error, file=sys.stderr)
+    print(
+        f"checked {checked} markdown file(s): "
+        + ("all links resolve" if not errors else f"{len(errors)} broken")
+    )
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
