@@ -31,6 +31,7 @@ from repro.fleet import (
     make_replay_reducer,
     run_fleet,
 )
+from repro.guidance import Arm, CoverageMap, GuidedPolicy
 from repro.minidb import Engine, EngineProfile
 from repro.oracles_base import Oracle, TestOutcome, TestReport
 from repro.runner import (
@@ -84,6 +85,9 @@ __all__ = [
     "fingerprint_report",
     "make_replay_reducer",
     "run_fleet",
+    "Arm",
+    "CoverageMap",
+    "GuidedPolicy",
     "Cluster",
     "cluster_corpus",
     "load_corpus",

@@ -37,6 +37,7 @@ from repro.fleet import (
     run_fleet,
 )
 from repro.fleet.orchestrator import ORACLE_FACTORIES as ORACLES
+from repro.guidance import GUIDANCE_MODES, CoverageMap
 
 #: Oracles usable against a single backend (``hunt``/``fleet``/
 #: ``compare``); the differential oracle needs a backend pair and has
@@ -101,6 +102,14 @@ def main(argv: list[str] | None = None) -> int:
         help="JSONL bug corpus: resumed if it exists, new bugs appended",
     )
     fleet.add_argument(
+        "--coverage",
+        default=None,
+        metavar="PATH",
+        help="plan-coverage checkpoint (JSON) for guided runs: loaded "
+        "if it exists, saved at the end (default with --guidance and "
+        "--corpus: CORPUS.coverage.json)",
+    )
+    fleet.add_argument(
         "--max-reports", type=int, default=1000, dest="max_reports"
     )
     fleet.add_argument(
@@ -156,11 +165,20 @@ def main(argv: list[str] | None = None) -> int:
         help="JSONL bug corpus: resumed if it exists, new bugs appended",
     )
     diff.add_argument(
+        "--coverage",
+        default=None,
+        metavar="PATH",
+        help="plan-coverage checkpoint (JSON) for guided runs: loaded "
+        "if it exists, saved at the end (default with --guidance and "
+        "--corpus: CORPUS.coverage.json)",
+    )
+    diff.add_argument(
         "--max-reports", type=int, default=1000, dest="max_reports"
     )
     diff.add_argument(
         "--quiet", action="store_true", help="suppress progress lines"
     )
+    _add_guidance_args(diff)
 
     compare = sub.add_parser(
         "compare",
@@ -300,6 +318,30 @@ def _add_campaign_args(sub_parser, default_tests: int | None) -> None:
         action="store_true",
         help="enable the profile's injected fault catalog",
     )
+    _add_guidance_args(sub_parser)
+
+
+def _add_guidance_args(sub_parser) -> None:
+    sub_parser.add_argument(
+        "--guidance",
+        choices=GUIDANCE_MODES,
+        default=None,
+        help="steer generation with a plan-coverage bandit instead of "
+        "uniform-random knobs (deterministic for a fixed "
+        "--seed/--workers; a 1-worker guided run is bit-reproducible "
+        "from its seed)",
+    )
+    sub_parser.add_argument(
+        "--guidance-rounds",
+        type=int,
+        default=4,
+        dest="guidance_rounds",
+        metavar="N",
+        help="snapshot-exchange barriers per guided run (default: 4; "
+        "clamped so every worker runs at least 64 tests -- or, for "
+        "--seconds budgets, 2 seconds -- per round; small budgets may "
+        "run as a single round with no exchange)",
+    )
 
 
 def _hunt(args) -> int:
@@ -310,9 +352,12 @@ def _hunt(args) -> int:
         workers=args.workers,
         seed=args.seed,
         n_tests=args.tests,
+        guidance=args.guidance,
+        guidance_rounds=args.guidance_rounds,
     )
     result = run_fleet(config)
     stats = result.merged
+    _print_arm_summary(result)
     print(
         f"{args.oracle} on {args.dialect}: {stats.tests} tests, "
         f"{stats.queries_ok} queries, QPT {stats.qpt:.2f}, "
@@ -345,12 +390,16 @@ def _fleet(args) -> int:
         n_tests=n_tests,
         seconds=args.seconds,
         max_reports=args.max_reports,
+        guidance=args.guidance,
+        guidance_rounds=args.guidance_rounds,
     )
     reduce_fn = None if args.no_reduce else make_replay_reducer(config)
     corpus, known_before = _open_corpus(args.corpus, reduce_fn)
     printer = None if args.quiet else ProgressPrinter()
+    coverage, coverage_path = _open_coverage(args)
 
-    result = run_fleet(config, corpus=corpus, printer=printer)
+    result = run_fleet(config, corpus=corpus, printer=printer, coverage=coverage)
+    _print_arm_summary(result)
 
     print(render_fleet_table(result.shards, result.merged))
     print(
@@ -371,8 +420,40 @@ def _fleet(args) -> int:
     if args.corpus:
         corpus.save()
         print(f"corpus saved to {args.corpus}")
+    if coverage_path and result.coverage is not None:
+        result.coverage.save(coverage_path)
+        print(f"coverage checkpoint saved to {coverage_path}")
     _print_new_entries(corpus, set(result.new_fingerprints), cap=5, noun="bugs")
     return 0
+
+
+def _open_coverage(args) -> "tuple[CoverageMap | None, str | None]":
+    """The fleet's coverage checkpoint: explicit --coverage path, else
+    derived from --corpus for guided runs, else in-memory only."""
+    if args.guidance is None:
+        if getattr(args, "coverage", None):
+            # Unguided runs track no coverage; silently ignoring the
+            # path would leave the user believing a checkpoint exists.
+            raise ValueError(
+                "--coverage requires --guidance plan-coverage"
+            )
+        return None, None
+    path = getattr(args, "coverage", None)
+    if path is None and args.corpus:
+        path = args.corpus + ".coverage.json"
+    if path is None:
+        return None, None
+    return CoverageMap.load(path), path
+
+
+def _print_arm_summary(result) -> None:
+    """Per-arm pull/yield table of a guided run (no-op when unguided)."""
+    rows = result.arm_summary
+    if not rows:
+        return
+    print("guidance arms (new plan fingerprints per arm):")
+    for arm, pulls, new_plans in rows:
+        print(f"  {arm:18s} {pulls:6d} pulls  {new_plans:5d} new plans")
 
 
 def _open_corpus(path, reduce_fn=None) -> "tuple[BugCorpus, int]":
@@ -433,12 +514,16 @@ def _diff(args) -> int:
         n_tests=n_tests,
         seconds=args.seconds,
         max_reports=args.max_reports,
+        guidance=args.guidance,
+        guidance_rounds=args.guidance_rounds,
     )
     corpus, known_before = _open_corpus(args.corpus)
     printer = None if args.quiet else ProgressPrinter()
+    coverage, coverage_path = _open_coverage(args)
 
-    result = run_fleet(config, corpus=corpus, printer=printer)
+    result = run_fleet(config, corpus=corpus, printer=printer, coverage=coverage)
     stats = result.merged
+    _print_arm_summary(result)
 
     print(render_fleet_table(result.shards, stats))
     print(
@@ -463,6 +548,9 @@ def _diff(args) -> int:
     if args.corpus:
         corpus.save()
         print(f"corpus saved to {args.corpus}")
+    if coverage_path and result.coverage is not None:
+        result.coverage.save(coverage_path)
+        print(f"coverage checkpoint saved to {coverage_path}")
     _print_new_entries(
         corpus,
         set(result.new_fingerprints),

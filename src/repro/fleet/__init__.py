@@ -30,7 +30,12 @@ from repro.fleet.orchestrator import (
     run_fleet,
 )
 from repro.fleet.progress import ProgressPrinter, ProgressSnapshot
-from repro.fleet.sharding import ShardSpec, derive_shard_seeds, split_tests
+from repro.fleet.sharding import (
+    ShardSpec,
+    derive_round_seed,
+    derive_shard_seeds,
+    split_tests,
+)
 
 __all__ = [
     "BugCorpus",
@@ -45,6 +50,7 @@ __all__ = [
     "ProgressPrinter",
     "ProgressSnapshot",
     "ShardSpec",
+    "derive_round_seed",
     "derive_shard_seeds",
     "split_tests",
 ]

@@ -42,7 +42,18 @@ from repro.errors import (
 )
 from repro.fleet.corpus import BugCorpus, ReduceFn, fingerprint_report
 from repro.fleet.progress import ProgressPrinter, ProgressSnapshot
-from repro.fleet.sharding import ShardSpec, derive_shard_seeds, split_tests
+from repro.fleet.sharding import (
+    ShardSpec,
+    derive_round_seed,
+    derive_shard_seeds,
+    split_tests,
+)
+from repro.guidance import (
+    GUIDANCE_MODES,
+    CoverageMap,
+    GuidedPolicy,
+    policy_seed,
+)
 from repro.oracles_base import Oracle, TestReport
 from repro.runner.campaign import Campaign, CampaignStats
 from repro.runner.reducer import reduce_statements
@@ -79,6 +90,15 @@ class FleetConfig:
     #: Differential campaigns: (primary, secondary) backend names, e.g.
     #: ``("minidb", "sqlite3")``.  Requires ``oracle="differential"``.
     backend_pair: tuple[str, str] | None = None
+    #: Guidance mode: None (uniform random, the historical behaviour)
+    #: or "plan-coverage" (coverage-guided arms; see repro.guidance).
+    guidance: str | None = None
+    #: Number of snapshot-exchange barriers a guided fleet runs: the
+    #: budget is split into this many rounds, each round's shards run
+    #: to completion, then coverage merges and arm priors rebalance.
+    guidance_rounds: int = 4
+    #: Fleet-wide sightings at which a fault counts as saturated.
+    saturation_threshold: int = 20
 
     def __post_init__(self) -> None:
         if self.oracle not in ORACLE_FACTORIES:
@@ -107,6 +127,15 @@ class FleetConfig:
                 "the differential oracle requires a backend_pair, e.g. "
                 "('minidb', 'sqlite3')"
             )
+        if self.guidance is not None and self.guidance not in GUIDANCE_MODES:
+            raise ValueError(
+                f"unknown guidance mode {self.guidance!r}; "
+                f"choose one of {GUIDANCE_MODES}"
+            )
+        if self.guidance_rounds < 1:
+            raise ValueError(
+                f"guidance_rounds must be >= 1, got {self.guidance_rounds}"
+            )
 
 
 @dataclass
@@ -123,6 +152,20 @@ class FleetResult:
     #: by fault ids, plan signature, and backend pair, in stable order.
     #: None when the fleet ran without a corpus.
     clusters: "list | None" = None
+    #: Merged plan-coverage map of a guided run (None when unguided).
+    #: Save it alongside the corpus to resume guidance across fleets.
+    coverage: CoverageMap | None = None
+    #: Per-shard arm schedule of a guided run (arm name per test, in
+    #: order) -- the reproducibility witness: same seed + workers must
+    #: yield identical schedules.  None when unguided.
+    arm_schedules: "list[list[str]] | None" = None
+
+    @property
+    def arm_summary(self) -> "list[tuple[str, int, int]]":
+        """``(arm, pulls, new_plans)`` rows of a guided run, best first."""
+        if self.coverage is None:
+            return []
+        return self.coverage.arm_summary()
 
 
 def build_shards(config: FleetConfig) -> list[ShardSpec]:
@@ -168,13 +211,60 @@ def _build_adapter(spec: ShardSpec):
     )
 
 
+def _build_policy(spec: ShardSpec) -> GuidedPolicy | None:
+    """The shard's generation policy: fresh on round 0, resumed from the
+    serialized state afterwards, with the merged fleet snapshot folded
+    in either way (fleet-known fingerprints are not novel here)."""
+    if spec.guidance is None:
+        return None
+    snapshot = CoverageMap.from_dict(spec.coverage_snapshot)
+    saturated = frozenset(spec.saturated_faults)
+    if spec.policy_state is not None:
+        policy = GuidedPolicy.from_state(spec.policy_state)
+        policy.absorb_snapshot(snapshot, saturated)
+    else:
+        policy = GuidedPolicy(
+            policy_seed(spec.seed),
+            source=spec.coverage_source or f"shard{spec.shard_index}",
+            known_plans=snapshot.seen_plans(),
+            saturated=saturated,
+        )
+    # Budget rebalance: arms the fleet pulled hard for little yield
+    # start this round deprioritized (prior excludes this shard's own
+    # counters, which live in the resumed policy state).
+    policy.inject_prior(_arm_prior(snapshot, exclude_source=policy.source))
+    return policy
+
+
+def _arm_prior(
+    snapshot: CoverageMap, exclude_source: str
+) -> "dict[str, tuple[int, float]]":
+    prior: dict[str, tuple[int, float]] = {}
+    for source, arms in snapshot.arms.items():
+        if source == exclude_source:
+            continue
+        for arm, counters in arms.items():
+            pulls, reward = prior.get(arm, (0, 0.0))
+            prior[arm] = (
+                pulls + counters.get("pulls", 0),
+                reward + float(counters.get("new_plans", 0)),
+            )
+    return prior
+
+
 def _run_shard(
     spec: ShardSpec,
     should_stop: Callable[[], bool] | None = None,
     on_progress: Callable[[CampaignStats], None] | None = None,
-) -> CampaignStats:
-    """Run one shard to completion in the current process."""
+) -> dict:
+    """Run one shard to completion in the current process.
+
+    Returns the shard payload: ``{"stats": CampaignStats}`` plus, for
+    guided shards, the serialized policy state and coverage snapshot
+    the orchestrator merges at the next round barrier.
+    """
     oracle = ORACLE_FACTORIES[spec.oracle](**spec.oracle_kwargs)
+    policy = _build_policy(spec)
     campaign = Campaign(
         oracle,
         _build_adapter(spec),
@@ -183,8 +273,14 @@ def _run_shard(
         max_reports=spec.max_reports,
         should_stop=should_stop,
         on_progress=on_progress,
+        policy=policy,
     )
-    return campaign.run(n_tests=spec.n_tests, seconds=spec.seconds)
+    stats = campaign.run(n_tests=spec.n_tests, seconds=spec.seconds)
+    payload: dict = {"stats": stats}
+    if policy is not None:
+        payload["policy"] = policy.to_state()
+        payload["coverage"] = policy.coverage.to_dict()
+    return payload
 
 
 def _worker_main(spec: ShardSpec, out_queue, stop_event) -> None:
@@ -222,13 +318,13 @@ def _worker_main(spec: ShardSpec, out_queue, stop_event) -> None:
         )
 
     try:
-        stats = _run_shard(
+        payload = _run_shard(
             spec, should_stop=stop_event.is_set, on_progress=on_progress
         )
     except Exception:
         out_queue.put(("error", spec.shard_index, traceback.format_exc()))
     else:
-        out_queue.put(("result", spec.shard_index, stats))
+        out_queue.put(("result", spec.shard_index, payload))
 
 
 # ---------------------------------------------------------------------------
@@ -278,6 +374,13 @@ class _CorpusSink:
         done = self.absorbed.get(shard_index, 0)
         self.absorb(shard_index, stats.reports[done:])
 
+    def start_round(self) -> None:
+        """Reset the per-shard absorption offsets at a guided round
+        barrier: each round's campaigns report from index 0 again, so a
+        stale offset would slice past (and silently drop) every report
+        the new round finds.  Corpus dedup state is untouched."""
+        self.absorbed.clear()
+
     @property
     def unique(self) -> int | None:
         """Newly fingerprinted this run; None without a corpus."""
@@ -288,23 +391,29 @@ def run_fleet(
     config: FleetConfig,
     corpus: BugCorpus | None = None,
     printer: ProgressPrinter | None = None,
+    coverage: CoverageMap | None = None,
 ) -> FleetResult:
     """Run a sharded campaign and merge the results.
 
     *corpus* (optional) deduplicates reports across shards and past
     invocations (first-seen entries are stamped with shard/seed/dialect
-    provenance); *printer* (optional) emits periodic progress lines.
+    provenance); *printer* (optional) emits periodic progress lines;
+    *coverage* (optional, guided fleets) seeds the plan-coverage map --
+    pass a loaded checkpoint to resume guidance across invocations.
     The result is deterministic for a given ``(seed, workers, budget)``:
     shard stats merge in spec order and the corpus holds the same entry
     set regardless of scheduling.
     """
+    if config.guidance is not None:
+        return _run_guided(config, corpus, printer, coverage)
     shards = build_shards(config)
     sink = _CorpusSink(corpus, config)
     start = time.monotonic()
     if config.workers == 1:
-        shard_stats = [_run_one_inprocess(shards[0], sink, printer, start)]
+        payloads = [_run_one_inprocess(shards[0], sink, printer, start)]
     else:
-        shard_stats = _run_pool(shards, config, sink, printer, start)
+        payloads = _run_pool(shards, config, sink, printer, start)
+    shard_stats = [p["stats"] for p in payloads]
     wall = time.monotonic() - start
 
     # Both collection paths return shards in spec order, so the merge
@@ -323,14 +432,260 @@ def run_fleet(
         new_fingerprints=sink.new_fingerprints,
         duplicate_reports=sink.duplicates,
     )
-    if corpus is not None:
-        # End-of-run triage: the raw entry count is not the unit of
-        # truth, the clustered corpus is (ROADMAP "Corpus triage").
-        # Imported lazily: the triage package reads corpus entries, so
-        # importing it at module level would be circular.
-        from repro.triage.cluster import cluster_corpus
+    _attach_clusters(result, corpus)
+    if printer is not None:
+        printer.final(
+            _snapshot(shard_stats, config, wall, sink, result.clusters)
+        )
+    return result
 
-        result.clusters = cluster_corpus(corpus.entries.values())
+
+def _attach_clusters(result: FleetResult, corpus: BugCorpus | None) -> None:
+    if corpus is None:
+        return
+    # End-of-run triage: the raw entry count is not the unit of
+    # truth, the clustered corpus is (ROADMAP "Corpus triage").
+    # Imported lazily: the triage package reads corpus entries, so
+    # importing it at module level would be circular.
+    from repro.triage.cluster import cluster_corpus
+
+    result.clusters = cluster_corpus(corpus.entries.values())
+
+
+# ---------------------------------------------------------------------------
+# Guided fleets: deterministic rounds with snapshot exchange
+# ---------------------------------------------------------------------------
+
+
+#: Minimum tests a shard should run between snapshot barriers: below
+#: this the bandit re-pays its exploration phase every round for no
+#: exchange benefit (measured on 200-test campaigns).
+_MIN_TESTS_PER_ROUND = 64
+
+
+#: Minimum seconds per round for wall-clock-only budgets (the test
+#: clamp cannot apply when the test count is unknown up front).
+_MIN_SECONDS_PER_ROUND = 2.0
+
+
+def _effective_rounds(config: FleetConfig) -> int:
+    """Clamp the round count so every shard gets a meaningful slice of
+    work per round: at least ``_MIN_TESTS_PER_ROUND`` tests for test
+    budgets, at least ``_MIN_SECONDS_PER_ROUND`` seconds for
+    wall-clock-only budgets (and always at least one round)."""
+    if config.n_tests is None:
+        return max(
+            1,
+            min(
+                config.guidance_rounds,
+                int(config.seconds / _MIN_SECONDS_PER_ROUND) or 1,
+            ),
+        )
+    per_worker = config.n_tests // config.workers
+    return max(
+        1,
+        min(
+            config.guidance_rounds,
+            per_worker // _MIN_TESTS_PER_ROUND or 1,
+            per_worker,
+        ),
+    )
+
+
+def _saturated_fault_ids(
+    coverage: CoverageMap, corpus: BugCorpus | None, threshold: int
+) -> frozenset[str]:
+    """The union of both saturation signals: faults the coverage map has
+    counted *threshold* times, and faults whose triage clusters have
+    accumulated *threshold* sightings in the corpus."""
+    saturated = set(coverage.saturated_faults(threshold))
+    if corpus is not None:
+        from repro.triage.cluster import cluster_corpus, saturated_fault_ids
+
+        clusters = cluster_corpus(corpus.entries.values())
+        saturated |= saturated_fault_ids(clusters, threshold)
+    return frozenset(saturated)
+
+
+def _coverage_epoch(initial: CoverageMap) -> str:
+    """Disambiguates counter ownership across resumed invocations.
+
+    Coverage sources must be single-writer, monotone streams for the
+    CRDT max-merge to count correctly.  A fresh run owns the bare
+    ``seed:shard/workers`` source, so re-running the identical fleet
+    merges idempotently; a run resumed from a non-empty checkpoint
+    makes *different* decisions (its novelty set starts from the
+    checkpoint), so its counters get a new owner derived from the
+    checkpoint content -- same checkpoint, same owner (still
+    idempotent), different checkpoint, separate counters that sum.
+    """
+    import hashlib
+    import json
+
+    if not initial.plans and not initial.faults and not initial.arms:
+        return ""
+    payload = json.dumps(initial.to_dict(), sort_keys=True)
+    return "@" + hashlib.blake2b(payload.encode(), digest_size=4).hexdigest()
+
+
+def _build_guided_shards(
+    config: FleetConfig,
+    round_index: int,
+    round_tests: int | None,
+    round_seconds: float | None,
+    policy_states: "list[dict | None]",
+    coverage: CoverageMap,
+    saturated: frozenset[str],
+    epoch: str = "",
+    max_reports: int | None = None,
+) -> list[ShardSpec]:
+    seeds = derive_shard_seeds(config.seed, config.workers)
+    quotas = split_tests(round_tests, config.workers)
+    snapshot = coverage.to_dict()
+    report_cap = config.max_reports if max_reports is None else max_reports
+    return [
+        ShardSpec(
+            shard_index=i,
+            workers=config.workers,
+            seed=derive_round_seed(seeds[i], round_index),
+            n_tests=quotas[i],
+            seconds=round_seconds,
+            oracle=config.oracle,
+            oracle_kwargs=dict(config.oracle_kwargs),
+            adapter=config.adapter,
+            dialect=config.dialect,
+            buggy=config.buggy,
+            tests_per_state=config.tests_per_state,
+            max_reports=report_cap,
+            backend_pair=config.backend_pair,
+            guidance=config.guidance,
+            round_index=round_index,
+            policy_state=policy_states[i],
+            coverage_snapshot=snapshot,
+            saturated_faults=tuple(sorted(saturated)),
+            coverage_source=f"{config.seed}:{i}/{config.workers}{epoch}",
+        )
+        for i in range(config.workers)
+    ]
+
+
+def _progress_base(per_shard: "list[list[CampaignStats]]") -> dict:
+    """Earlier rounds' cumulative counters, so mid-round progress lines
+    keep counting up across guided round barriers."""
+    parts = [stats for rounds in per_shard for stats in rounds]
+    return {
+        "tests": sum(s.tests for s in parts),
+        "skipped": sum(s.skipped for s in parts),
+        "queries_ok": sum(s.queries_ok for s in parts),
+        "queries_err": sum(s.queries_err for s in parts),
+        "reports": sum(len(s.reports) for s in parts),
+    }
+
+
+def _run_guided(
+    config: FleetConfig,
+    corpus: BugCorpus | None,
+    printer: ProgressPrinter | None,
+    coverage: CoverageMap | None,
+) -> FleetResult:
+    """Guided fleet: the budget is split into rounds; between rounds the
+    orchestrator merges every shard's coverage snapshot (CRDT join, so
+    order and repetition are harmless), recomputes the saturated-fault
+    set from the corpus triage clusters, and rebalances the remaining
+    budget toward under-covered arms by injecting fleet-global arm
+    priors into each shard's bandit.
+
+    Exchanging only at round barriers keeps the whole fleet a pure
+    function of ``(seed, workers, budget)``: within a round shards are
+    independent deterministic campaigns, and the merge is a CRDT join.
+    """
+    coverage = coverage if coverage is not None else CoverageMap()
+    epoch = _coverage_epoch(coverage)
+    sink = _CorpusSink(corpus, config)
+    start = time.monotonic()
+    rounds = _effective_rounds(config)
+    policy_states: list[dict | None] = [None] * config.workers
+    per_shard: list[list[CampaignStats]] = [[] for _ in range(config.workers)]
+    remaining = config.n_tests
+    reports_so_far = 0
+    for round_index in range(rounds):
+        round_tests: int | None = None
+        if remaining is not None:
+            round_tests = remaining // (rounds - round_index)
+            remaining -= round_tests
+        round_seconds = (
+            None if config.seconds is None else config.seconds / rounds
+        )
+        saturated = _saturated_fault_ids(
+            coverage, corpus, config.saturation_threshold
+        )
+        # The fleet-wide report cap is cumulative across rounds: each
+        # round only gets the remainder, so a guided fleet overshoots
+        # by at most the same race window as an unguided one.
+        remaining_reports = max(0, config.max_reports - reports_so_far)
+        sink.start_round()
+        specs = _build_guided_shards(
+            config,
+            round_index,
+            round_tests,
+            round_seconds,
+            policy_states,
+            coverage,
+            saturated,
+            epoch,
+            max_reports=remaining_reports,
+        )
+        progress_base = _progress_base(per_shard)
+        if config.workers == 1:
+            payloads = [
+                _run_one_inprocess(
+                    specs[0], sink, printer, start,
+                    progress_base=progress_base,
+                )
+            ]
+        else:
+            payloads = _run_pool(
+                specs, config, sink, printer, start,
+                max_reports=remaining_reports,
+                progress_base=progress_base,
+            )
+        for i, payload in enumerate(payloads):
+            per_shard[i].append(payload["stats"])
+            policy_states[i] = payload.get("policy")
+            shard_coverage = payload.get("coverage")
+            if shard_coverage:
+                coverage.update(CoverageMap.from_dict(shard_coverage))
+        reports_so_far = sum(
+            len(stats.reports) for parts in per_shard for stats in parts
+        )
+        if reports_so_far >= config.max_reports:
+            break
+    wall = time.monotonic() - start
+
+    shard_stats: list[CampaignStats] = []
+    for parts in per_shard:
+        merged_shard = CampaignStats.merge(parts)
+        # Rounds of one shard ran sequentially, not concurrently.
+        merged_shard.wall_seconds = sum(p.wall_seconds for p in parts)
+        shard_stats.append(merged_shard)
+    merged = CampaignStats.merge(shard_stats, max_reports=config.max_reports)
+    if config.workers > 1:
+        merged.wall_seconds = wall
+
+    result = FleetResult(
+        merged=merged,
+        shards=shard_stats,
+        wall_seconds=wall,
+        corpus=corpus,
+        new_fingerprints=sink.new_fingerprints,
+        duplicate_reports=sink.duplicates,
+        coverage=coverage,
+        arm_schedules=[
+            list(state["schedule"]) if state else []
+            for state in policy_states
+        ],
+    )
+    _attach_clusters(result, corpus)
     if printer is not None:
         printer.final(
             _snapshot(shard_stats, config, wall, sink, result.clusters)
@@ -343,7 +698,9 @@ def _run_one_inprocess(
     sink: _CorpusSink,
     printer: ProgressPrinter | None,
     start: float,
-) -> CampaignStats:
+    progress_base: "dict | None" = None,
+) -> dict:
+    base = progress_base or _EMPTY_PROGRESS_BASE
     def on_progress(stats: CampaignStats) -> None:
         sink.absorb_remainder(spec.shard_index, stats)
         if printer is None:
@@ -352,18 +709,18 @@ def _run_one_inprocess(
             elapsed=time.monotonic() - start,
             workers=1,
             shards_done=0,
-            tests=stats.tests,
-            skipped=stats.skipped,
-            queries_ok=stats.queries_ok,
-            queries_err=stats.queries_err,
-            reports=len(stats.reports),
+            tests=base["tests"] + stats.tests,
+            skipped=base["skipped"] + stats.skipped,
+            queries_ok=base["queries_ok"] + stats.queries_ok,
+            queries_err=base["queries_err"] + stats.queries_err,
+            reports=base["reports"] + len(stats.reports),
             unique_reports=sink.unique,
         )
         printer.maybe_print(snap)
 
-    stats = _run_shard(spec, on_progress=on_progress)
-    sink.absorb_remainder(spec.shard_index, stats)
-    return stats
+    payload = _run_shard(spec, on_progress=on_progress)
+    sink.absorb_remainder(spec.shard_index, payload["stats"])
+    return payload
 
 
 def _run_pool(
@@ -372,7 +729,16 @@ def _run_pool(
     sink: _CorpusSink,
     printer: ProgressPrinter | None,
     start: float,
-) -> list[CampaignStats]:
+    max_reports: int | None = None,
+    progress_base: "dict | None" = None,
+) -> list[dict]:
+    """*max_reports* overrides the fleet-wide stop threshold for this
+    pool invocation (guided rounds pass the cap *remaining* after
+    earlier rounds; None keeps the config-wide bound).  *progress_base*
+    carries earlier rounds' cumulative counters so progress lines never
+    jump backward at a round barrier."""
+    report_cap = config.max_reports if max_reports is None else max_reports
+    base = progress_base or _EMPTY_PROGRESS_BASE
     ctx = _mp_context()
     out_queue = ctx.Queue()
     stop_event = ctx.Event()
@@ -389,7 +755,7 @@ def _run_pool(
         proc.start()
 
     latest: dict[int, dict] = {}
-    results: dict[int, CampaignStats] = {}
+    results: dict[int, dict] = {}
     errors: dict[int, str] = {}
     dead_since: dict[int, float] = {}
     try:
@@ -404,18 +770,20 @@ def _run_pool(
                 sink.absorb(shard_index, payload.pop("new_reports", []))
             elif kind == "result":
                 results[shard_index] = payload
-                latest[shard_index] = _final_payload(payload)
-                sink.absorb_remainder(shard_index, payload)
+                latest[shard_index] = _final_payload(payload["stats"])
+                sink.absorb_remainder(shard_index, payload["stats"])
                 # A result that raced the liveness check wins.
                 errors.pop(shard_index, None)
                 dead_since.pop(shard_index, None)
             else:  # "error"
                 errors[shard_index] = payload
-            if _reports_so_far(latest) >= config.max_reports:
+            if _reports_so_far(latest) >= report_cap:
                 stop_event.set()
             if printer is not None:
                 printer.maybe_print(
-                    _queue_snapshot(latest, config, start, len(results), sink)
+                    _queue_snapshot(
+                        latest, config, start, len(results), sink, base
+                    )
                 )
     finally:
         stop_event.set()
@@ -482,22 +850,35 @@ def _reports_so_far(latest: dict[int, dict]) -> int:
     return sum(p["reports"] for p in latest.values())
 
 
+#: Zero baseline for single-invocation (unguided) progress reporting.
+_EMPTY_PROGRESS_BASE = {
+    "tests": 0,
+    "skipped": 0,
+    "queries_ok": 0,
+    "queries_err": 0,
+    "reports": 0,
+}
+
+
 def _queue_snapshot(
     latest: dict[int, dict],
     config: FleetConfig,
     start: float,
     done: int,
     sink: _CorpusSink,
+    base: dict = _EMPTY_PROGRESS_BASE,
 ) -> ProgressSnapshot:
     return ProgressSnapshot(
         elapsed=time.monotonic() - start,
         workers=config.workers,
         shards_done=done,
-        tests=sum(p["tests"] for p in latest.values()),
-        skipped=sum(p["skipped"] for p in latest.values()),
-        queries_ok=sum(p["queries_ok"] for p in latest.values()),
-        queries_err=sum(p["queries_err"] for p in latest.values()),
-        reports=_reports_so_far(latest),
+        tests=base["tests"] + sum(p["tests"] for p in latest.values()),
+        skipped=base["skipped"] + sum(p["skipped"] for p in latest.values()),
+        queries_ok=base["queries_ok"]
+        + sum(p["queries_ok"] for p in latest.values()),
+        queries_err=base["queries_err"]
+        + sum(p["queries_err"] for p in latest.values()),
+        reports=base["reports"] + _reports_so_far(latest),
         unique_reports=sink.unique,
     )
 

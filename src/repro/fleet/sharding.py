@@ -44,6 +44,24 @@ def _mix(seed: int, shard: int, workers: int) -> int:
     return int.from_bytes(digest, "big") >> 1
 
 
+def derive_round_seed(shard_seed: int, round_index: int) -> int:
+    """Per-round seed for guided fleets.
+
+    Guided campaigns run in rounds with a coverage-snapshot barrier in
+    between; each round must explore a fresh random stream (replaying
+    round 0's stream would regenerate the very states and queries whose
+    plans are already covered).  Round 0 passes the shard seed through
+    unchanged so a 1-round guided run derives exactly the same stream
+    as an unguided shard.
+    """
+    if round_index == 0:
+        return shard_seed
+    digest = hashlib.blake2b(
+        f"{shard_seed}:round:{round_index}".encode(), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big") >> 1
+
+
 def split_tests(n_tests: int | None, workers: int) -> list[int | None]:
     """Fair split of an n-tests budget: quotas sum to *n_tests* and
     differ by at most one.  A wall-clock-only budget (None) passes
@@ -80,3 +98,21 @@ class ShardSpec:
     #: Differential campaigns: (primary, secondary) backend names; the
     #: worker builds a DifferentialAdapter instead of a single backend.
     backend_pair: tuple[str, str] | None = None
+    #: Guidance mode (None = uniform random, "plan-coverage" = guided);
+    #: when set the worker builds a GuidedPolicy for its campaign.
+    guidance: str | None = None
+    #: Which guided round this spec belongs to (0-based); rounds are
+    #: the deterministic barriers at which coverage snapshots merge.
+    round_index: int = 0
+    #: Serialized GuidedPolicy state carried across round barriers
+    #: (None on the first round: the worker seeds a fresh policy).
+    policy_state: dict | None = None
+    #: Fleet-global CoverageMap snapshot (merged at the last barrier);
+    #: its fingerprints stop counting as novel in this round.
+    coverage_snapshot: dict | None = None
+    #: Fault ids the fleet considers saturated (triage signal): arms
+    #: whose tests only re-fire these are de-prioritized.
+    saturated_faults: tuple[str, ...] = ()
+    #: Stable owner id for this shard's coverage counters (includes the
+    #: fleet seed, so re-running the same fleet merges idempotently).
+    coverage_source: str = ""

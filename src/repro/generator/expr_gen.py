@@ -81,6 +81,15 @@ class ExprGenerator:
         #: LIMIT, no GROUP BY inside scalar subqueries), and no
         #: comparisons against untyped (view) columns.
         self.portable = portable
+        #: Guidance knobs (set per test by a guided policy's arm): a
+        #: multiplier on the subquery-rooted choices of the boolean /
+        #: scalar grammars, and on the aggregate-vs-LIMIT-1 split inside
+        #: scalar subqueries.  1.0 is *exactly* the unguided
+        #: distribution (weights multiply by 1.0, thresholds compare
+        #: against the same literals), so default campaigns stay
+        #: bit-identical to their pre-guidance streams.
+        self.subquery_weight = 1.0
+        self.aggregate_weight = 1.0
         self._alias_counter = 0
 
     # -- entry points ---------------------------------------------------------
@@ -135,11 +144,16 @@ class ExprGenerator:
             (0.3, "literal"),
         ]
         if self.allow_subqueries and self.schema.base_tables:
+            w = self.subquery_weight
             choices.extend(
-                [(1.2, "exists"), (1.2, "in_subquery"), (1.0, "scalar_sub_cmp")]
+                [
+                    (1.2 * w, "exists"),
+                    (1.2 * w, "in_subquery"),
+                    (1.0 * w, "scalar_sub_cmp"),
+                ]
             )
             if self.supports_any_all:
-                choices.append((0.8, "quantified"))
+                choices.append((0.8 * w, "quantified"))
         kind = _weighted(rng, choices)
 
         if kind == "comparison":
@@ -339,7 +353,7 @@ class ExprGenerator:
             (0.5, "concat"),
         ]
         if self.allow_subqueries and self.schema.base_tables:
-            choices.append((0.8, "scalar_subquery"))
+            choices.append((0.8 * self.subquery_weight, "scalar_subquery"))
         kind = _weighted(rng, choices)
         if kind == "leaf":
             return self._leaf_scalar(scope, used)
@@ -645,7 +659,7 @@ class ExprGenerator:
         target = rng.choice(inner)
         where = self._inner_where(inner, outer, used)
         group_by: tuple[A.Expr, ...] = ()
-        if rng.random() < 0.7:
+        if rng.random() < min(0.97, 0.7 * self.aggregate_weight):
             agg = rng.choice(["COUNT", "SUM", "AVG", "MIN", "MAX"])
             distinct = rng.random() < 0.12
             arg: A.Expr = target.ref
@@ -699,7 +713,7 @@ class ExprGenerator:
             c for c in inner if c.sql_type in (SqlType.INTEGER, SqlType.REAL)
         ]
         where = self._inner_where(inner, outer, used)
-        if numeric and rng.random() < 0.7:
+        if numeric and rng.random() < min(0.97, 0.7 * self.aggregate_weight):
             target = rng.choice(numeric)
             agg = rng.choice(["COUNT", "SUM", "AVG", "MIN", "MAX"])
             distinct = rng.random() < 0.12

@@ -91,6 +91,11 @@ class QueryGenerator:
         #: compare columns of equal declared type -- relaxed engines
         #: disagree on mixed text/number comparison semantics.
         self.portable = portable
+        #: Guidance knob (set per test by a guided policy's arm): tilt
+        #: the relation-count pick toward wider FROM clauses.  At the
+        #: neutral 1.0 the original ``randint`` path is taken, so the
+        #: unguided random stream is bit-identical to pre-guidance code.
+        self.join_weight = 1.0
 
     # -- FROM clause ------------------------------------------------------------
 
@@ -102,7 +107,21 @@ class QueryGenerator:
         ]
         if not pool:
             raise ValueError("schema has no relations")
-        count = rng.randint(1, min(self.max_relations, len(pool)))
+        top = min(self.max_relations, len(pool))
+        if self.join_weight == 1.0:
+            count = rng.randint(1, top)
+        else:
+            # Geometric tilt toward more relations: weight w**(k-1) for
+            # k relations (w>1 favors joins, w<1 favors single tables).
+            weights = [self.join_weight ** k for k in range(top)]
+            pick = rng.random() * sum(weights)
+            count = top
+            acc = 0.0
+            for k, weight in enumerate(weights, start=1):
+                acc += weight
+                if pick <= acc:
+                    count = k
+                    break
         picked = rng.sample(pool, count)
 
         scope: list[ScopeColumn] = []

@@ -1,0 +1,46 @@
+"""Plan-coverage-guided generation and adaptive fleet scheduling.
+
+The feedback loop that turns the existing plan-fingerprint machinery
+into a generation/scheduling signal (Query Plan Guidance, Ba & Rigger
+ICSE 2023; adaptive generation per "Scaling Automated Database System
+Testing", Zhong & Rigger 2025):
+
+* :mod:`repro.guidance.coverage` -- :class:`CoverageMap`, a CRDT of
+  per-shard plan-fingerprint / fault / arm counters whose ``merge`` is
+  commutative, associative, and idempotent (safe snapshot exchange and
+  checkpoint/resume),
+* :mod:`repro.guidance.policy` -- :class:`GuidedPolicy`, a seeded UCB
+  bandit over generator knob arms (MaxDepth, join/subquery/aggregate
+  weights, portable dialect mode) rewarding fleet-globally new plan
+  fingerprints and de-prioritizing arms that only re-fire saturated
+  fault clusters.
+
+Wiring: ``Campaign(policy=...)`` applies the chosen arm's knobs before
+every test; the fleet orchestrator runs guided campaigns in
+deterministic *rounds*, merging shard coverage snapshots and
+rebalancing the remaining budget toward under-covered arms at each
+barrier (``coddtest hunt|fleet|diff --guidance plan-coverage``).
+"""
+
+from repro.guidance.coverage import CoverageMap, merge_all
+from repro.guidance.policy import (
+    ARMS_BY_NAME,
+    DEFAULT_ARMS,
+    GUIDANCE_MODES,
+    PLAN_COVERAGE,
+    Arm,
+    GuidedPolicy,
+    policy_seed,
+)
+
+__all__ = [
+    "Arm",
+    "ARMS_BY_NAME",
+    "CoverageMap",
+    "DEFAULT_ARMS",
+    "GUIDANCE_MODES",
+    "GuidedPolicy",
+    "PLAN_COVERAGE",
+    "merge_all",
+    "policy_seed",
+]

@@ -1,0 +1,316 @@
+"""Plan-coverage-guided generation policy (a seeded bandit over knobs).
+
+Uniform-random campaigns spend most of their budget re-exercising plans
+they have already covered (paper Figure 3: plan diversity saturates
+with MaxDepth).  :class:`GuidedPolicy` instead treats generator knob
+bundles -- *arms* -- as a multi-armed bandit: before every test it
+picks an arm (UCB1 with seeded epsilon exploration), applies the arm's
+knobs to the oracle's live generators, and after the test rewards the
+arm iff the test's main query planned to a fingerprint nobody in the
+fleet has seen.  Arms whose recent tests only re-fire saturated fault
+clusters (the triage signal) are penalized, steering budget away from
+bugs the corpus already holds many witnesses of.
+
+Determinism guarantee: arm selection is a pure function of
+``(seed, observation history, injected prior)``.  A 1-worker guided
+run is bit-reproducible from its seed; a multi-worker guided fleet
+exchanges snapshots only at deterministic round barriers (see
+``fleet.orchestrator``), so the arm schedule is reproducible for a
+fixed ``(seed, workers)`` too.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+from repro.guidance.coverage import CoverageMap
+from repro.oracles_base import TestOutcome
+
+#: The single guidance mode currently implemented; CLI flag value.
+PLAN_COVERAGE = "plan-coverage"
+
+GUIDANCE_MODES = (PLAN_COVERAGE,)
+
+
+@dataclass(frozen=True)
+class Arm:
+    """One knob bundle the bandit can pull.
+
+    ``max_depth``/``max_relations`` bound expression and FROM-clause
+    size -- None means "leave the campaign's configured baseline
+    alone", so arms are *deltas* from whatever the oracle was built
+    with (a user's ``oracle_kwargs={"max_depth": 5}`` survives uniform
+    pulls).  The three weights tilt the generator's choice
+    distributions (1.0 is exactly the uniform-random behaviour);
+    ``portable`` switches generation to the dialect-intersection mode
+    for this test (the knob differential campaigns run in permanently
+    -- here an *extra* restriction reaching the planner's type-uniform
+    paths).
+    """
+
+    name: str
+    max_depth: int | None = None
+    max_relations: int | None = None
+    subquery_weight: float = 1.0
+    aggregate_weight: float = 1.0
+    join_weight: float = 1.0
+    portable: bool = False
+
+    def apply(self, oracle) -> None:
+        """Push this arm's knobs onto *oracle*'s live generators.
+
+        Generic across oracles: every oracle exposes ``max_depth`` (read
+        when generators are rebuilt per state) plus ``expr_gen`` /
+        ``query_gen`` instances that read their knobs per call.  The
+        baseline value of every absolute knob is captured the first
+        time an arm touches its owner, so a None knob (and the next
+        arm after a portable pull) restores the configured behaviour
+        rather than inheriting the previous arm's override.  Portable
+        baselines are per generator *instance* (rebuilt each state), so
+        an adapter that requires portable generation (differential
+        pairs) is never widened.
+        """
+        depth = self.max_depth
+        if hasattr(oracle, "max_depth"):
+            base_depth = _baseline(oracle, "max_depth")
+            depth = base_depth if depth is None else depth
+            oracle.max_depth = depth
+        expr_gen = getattr(oracle, "expr_gen", None)
+        if expr_gen is not None:
+            # Baselines are captured eagerly, before this arm's writes,
+            # so a later arm can restore them even when this arm's
+            # value would short-circuit the lookup.
+            base_portable = _baseline(expr_gen, "portable")
+            if depth is not None:
+                expr_gen.max_depth = depth
+            expr_gen.subquery_weight = self.subquery_weight
+            expr_gen.aggregate_weight = self.aggregate_weight
+            expr_gen.portable = self.portable or base_portable
+        query_gen = getattr(oracle, "query_gen", None)
+        if query_gen is not None:
+            base_rel = _baseline(query_gen, "max_relations")
+            base_portable = _baseline(query_gen, "portable")
+            query_gen.max_relations = (
+                base_rel if self.max_relations is None else self.max_relations
+            )
+            query_gen.join_weight = self.join_weight
+            query_gen.portable = self.portable or base_portable
+
+
+def _baseline(owner, knob: str):
+    """The knob value *owner* was configured with, captured before the
+    first arm override (oracles persist across states; generators are
+    rebuilt per state, so their pristine constructor values re-capture
+    naturally)."""
+    attr = f"_guidance_base_{knob}"
+    base = getattr(owner, attr, None)
+    if base is None:
+        base = getattr(owner, knob)
+        setattr(owner, attr, base)
+    return base
+
+
+#: The default arm space.  "uniform" is exactly the unguided generator
+#: configuration; the other arms push toward the structures that mint
+#: new plan fingerprints (subquery shape, join arity, aggregate
+#: subqueries -- paper Section 4.3: only subqueries keep adding plans).
+#: Weights were measured per arm on 200-test planted-fault campaigns;
+#: every non-uniform arm mints at least as many unique plans per test
+#: as uniform (shallow low-subquery variants measured *worse* and were
+#: dropped), so even the bandit's exploration phase does no harm.
+DEFAULT_ARMS: tuple[Arm, ...] = (
+    Arm("uniform"),  # every knob at the campaign's configured baseline
+    Arm("deep-subquery", max_depth=5, subquery_weight=2.5, aggregate_weight=1.5),
+    Arm("join-heavy", max_relations=3, join_weight=3.0, subquery_weight=1.5),
+    Arm("aggregate-heavy", max_depth=4, subquery_weight=1.8, aggregate_weight=3.0),
+    Arm("deep-join", max_depth=4, max_relations=3, join_weight=3.0, subquery_weight=2.0),
+    Arm("portable-dialect", portable=True, subquery_weight=1.5),
+)
+
+ARMS_BY_NAME = {arm.name: arm for arm in DEFAULT_ARMS}
+
+
+@dataclass
+class _ArmStats:
+    """Local pull/reward tally plus the fleet prior injected at round
+    barriers (budget rebalance: globally exhausted arms start the next
+    round with a low prior mean and lose UCB priority everywhere)."""
+
+    pulls: int = 0
+    reward: float = 0.0
+    prior_pulls: int = 0
+    prior_reward: float = 0.0
+
+    @property
+    def total_pulls(self) -> int:
+        return self.pulls + self.prior_pulls
+
+    @property
+    def mean(self) -> float:
+        total = self.total_pulls
+        if total == 0:
+            return 0.0
+        return (self.reward + self.prior_reward) / total
+
+
+class GuidedPolicy:
+    """Seeded UCB1 bandit over generator knob arms.
+
+    The :class:`~repro.runner.campaign.Campaign` calls
+    :meth:`begin_test` before each test (the returned arm's knobs are
+    applied to the oracle) and :meth:`observe` after it.
+    """
+
+    #: UCB exploration constant (rewards live in [-penalty, 1]).
+    exploration = 0.6
+    #: Seeded epsilon exploration on top of UCB.
+    epsilon = 0.08
+    #: Reward subtracted when a test's only yield is re-firing faults
+    #: the fleet has already saturated.
+    saturation_penalty = 0.25
+
+    def __init__(
+        self,
+        seed: int,
+        source: str,
+        arms: "tuple[Arm, ...]" = DEFAULT_ARMS,
+        known_plans: "set[str] | None" = None,
+        saturated: "frozenset[str]" = frozenset(),
+    ) -> None:
+        self.arms = arms
+        self.source = source
+        self.rng = random.Random(seed)
+        #: Fingerprints known anywhere in the fleet (merged snapshot +
+        #: everything this shard saw) -- the novelty reference set.
+        self.known: set[str] = set(known_plans or ())
+        self.saturated = saturated
+        self.coverage = CoverageMap()
+        self.stats: dict[str, _ArmStats] = {a.name: _ArmStats() for a in arms}
+        #: Arm name per test, in order -- the reproducibility witness
+        #: the determinism regression pack asserts on.
+        self.schedule: list[str] = []
+        self._current: Arm | None = None
+        self._t = 0
+
+    # -- campaign hook -------------------------------------------------------
+
+    def begin_test(self) -> Arm:
+        """Pick the next arm (and remember it for :meth:`observe`)."""
+        self._t += 1
+        arm = self._select()
+        self._current = arm
+        self.schedule.append(arm.name)
+        return arm
+
+    def observe(self, outcome: TestOutcome) -> None:
+        """Account the finished test to the arm that generated it."""
+        arm = self._current
+        if arm is None:
+            return
+        self._current = None
+        fp = outcome.fingerprint
+        new_plan = fp is not None and fp not in self.known
+        if fp is not None:
+            self.known.add(fp)
+            self.coverage.record_plan(self.source, fp)
+        for fault_id in sorted(outcome.fired_faults):
+            self.coverage.record_fault(self.source, fault_id)
+        reward = 1.0 if new_plan else 0.0
+        if (
+            not new_plan
+            and outcome.fired_faults
+            and outcome.fired_faults <= self.saturated
+        ):
+            reward -= self.saturation_penalty
+        stats = self.stats[arm.name]
+        stats.pulls += 1
+        stats.reward += reward
+        self.coverage.record_arm(self.source, arm.name, new_plan=new_plan)
+
+    # -- selection -----------------------------------------------------------
+
+    def _select(self) -> Arm:
+        # Unpulled arms first, in declaration order (deterministic).
+        for arm in self.arms:
+            if self.stats[arm.name].total_pulls == 0:
+                return arm
+        if self.rng.random() < self.epsilon:
+            return self.arms[self.rng.randrange(len(self.arms))]
+        total = sum(s.total_pulls for s in self.stats.values())
+        log_total = math.log(max(total, 2))
+        best, best_score = self.arms[0], float("-inf")
+        for arm in self.arms:  # declaration order breaks ties
+            stats = self.stats[arm.name]
+            score = stats.mean + self.exploration * math.sqrt(
+                log_total / stats.total_pulls
+            )
+            if score > best_score:
+                best, best_score = arm, score
+        return best
+
+    # -- round barriers ------------------------------------------------------
+
+    def absorb_snapshot(
+        self, snapshot: CoverageMap, saturated: "frozenset[str]"
+    ) -> None:
+        """Fold a merged fleet snapshot in at a round barrier: every
+        fingerprint anyone saw stops counting as novel here, and the
+        fleet's saturated-fault set replaces the local one."""
+        self.known |= snapshot.seen_plans()
+        self.saturated = saturated
+
+    def inject_prior(self, arm_pulls: "dict[str, tuple[int, float]]") -> None:
+        """Install fleet-global ``(pulls, reward)`` priors per arm --
+        the orchestrator's budget rebalance: arms the fleet has pulled
+        hard for little yield start the round deprioritized."""
+        for name, (pulls, reward) in arm_pulls.items():
+            stats = self.stats.get(name)
+            if stats is not None:
+                stats.prior_pulls = pulls
+                stats.prior_reward = reward
+
+    # -- (de)serialization across round/process boundaries --------------------
+
+    def to_state(self) -> dict:
+        """Picklable/JSON-able snapshot of the full decision state."""
+        rng_state = self.rng.getstate()
+        return {
+            "source": self.source,
+            "rng": [rng_state[0], list(rng_state[1]), rng_state[2]],
+            "known": sorted(self.known),
+            "saturated": sorted(self.saturated),
+            "t": self._t,
+            "schedule": list(self.schedule),
+            "stats": {
+                name: [s.pulls, s.reward, s.prior_pulls, s.prior_reward]
+                for name, s in sorted(self.stats.items())
+            },
+            "coverage": self.coverage.to_dict(),
+        }
+
+    @classmethod
+    def from_state(
+        cls, state: dict, arms: "tuple[Arm, ...]" = DEFAULT_ARMS
+    ) -> "GuidedPolicy":
+        policy = cls(seed=0, source=state["source"], arms=arms)
+        rng_version, internal, gauss = state["rng"]
+        policy.rng.setstate((rng_version, tuple(internal), gauss))
+        policy.known = set(state["known"])
+        policy.saturated = frozenset(state["saturated"])
+        policy._t = state["t"]
+        policy.schedule = list(state["schedule"])
+        for name, (pulls, reward, p_pulls, p_reward) in state["stats"].items():
+            if name in policy.stats:
+                policy.stats[name] = _ArmStats(pulls, reward, p_pulls, p_reward)
+        policy.coverage = CoverageMap.from_dict(state["coverage"])
+        return policy
+
+
+def policy_seed(shard_seed: int) -> int:
+    """The bandit's RNG stream, decorrelated from the generation stream
+    (the campaign RNG is ``Random(shard_seed)``; reusing it would let
+    knob exploration perturb generation in a worker-count-dependent
+    way)."""
+    return (shard_seed * 0x9E3779B97F4A7C15 + 0x1B) % (2**63)

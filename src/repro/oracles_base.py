@@ -84,6 +84,10 @@ class TestOutcome:
     queries_ok: int = 0
     queries_err: int = 0
     fingerprint: str | None = None
+    #: Injected faults that fired during the test, whatever its status
+    #: (a guided policy's saturation signal needs to see a test re-hit
+    #: an already-saturated fault even when no relation was violated).
+    fired_faults: frozenset[str] = frozenset()
 
 
 class OracleSkip(Exception):
@@ -166,6 +170,7 @@ class Oracle(abc.ABC):
             queries_ok=self._q_ok,
             queries_err=self._q_err,
             fingerprint=self._fingerprint,
+            fired_faults=frozenset(self._fired),
         )
 
     def _bug(self, kind: str, message: str) -> TestOutcome:

@@ -138,6 +138,7 @@ class Campaign:
         max_state_failures: int = 200,
         should_stop: Callable[[], bool] | None = None,
         on_progress: Callable[[CampaignStats], None] | None = None,
+        policy=None,
     ) -> None:
         self.oracle = oracle
         self.adapter = adapter
@@ -155,6 +156,12 @@ class Campaign:
         #: Called after every batch of tests with the live stats; must not
         #: mutate them.  Used by the fleet workers to stream progress.
         self.on_progress = on_progress
+        #: Optional generation policy (duck-typed, e.g.
+        #: :class:`repro.guidance.GuidedPolicy`): ``begin_test()``
+        #: returns an arm whose knobs are applied to the oracle before
+        #: each test, ``observe(outcome)`` accounts the result.  None
+        #: keeps the historical uniform-random behaviour bit-for-bit.
+        self.policy = policy
         self.stats = CampaignStats(oracle=oracle.name)
 
     @classmethod
@@ -241,7 +248,11 @@ class Campaign:
         return True
 
     def _one_test(self) -> None:
+        if self.policy is not None:
+            self.policy.begin_test().apply(self.oracle)
         outcome = self.oracle.run_one()
+        if self.policy is not None:
+            self.policy.observe(outcome)
         self.stats.queries_ok += outcome.queries_ok
         self.stats.queries_err += outcome.queries_err
         if outcome.fingerprint:

@@ -24,7 +24,12 @@ replayed on) -- rendering the same corpus twice yields byte-identical
 output.
 """
 
-from repro.triage.cluster import Cluster, cluster_corpus, cluster_key
+from repro.triage.cluster import (
+    Cluster,
+    cluster_corpus,
+    cluster_key,
+    saturated_fault_ids,
+)
 from repro.triage.loader import iter_corpus_file, load_corpus, merge_corpora
 from repro.triage.render import (
     render_triage,
@@ -39,6 +44,7 @@ __all__ = [
     "Cluster",
     "cluster_corpus",
     "cluster_key",
+    "saturated_fault_ids",
     "iter_corpus_file",
     "load_corpus",
     "merge_corpora",

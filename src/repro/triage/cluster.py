@@ -98,8 +98,10 @@ class Cluster:
     @property
     def representative(self) -> CorpusEntry:
         """The entry to show a human (and to replay): reduced witnesses
-        beat unreduced ones, shorter beats longer, fingerprint breaks
-        ties -- a pure function of the entry set."""
+        beat unreduced ones, shorter beats longer, and two witnesses
+        sharing a reduced length tie-break on fingerprint -- never on
+        insertion order, so merged corpora loaded in any file order
+        select (and replay) the same representative."""
         return min(
             self.entries,
             key=lambda e: (
@@ -164,3 +166,19 @@ def cluster_corpus(entries) -> list[Cluster]:
             )
         cluster.entries.append(entry)
     return sorted(by_key.values(), key=Cluster.sort_key)
+
+
+def saturated_fault_ids(clusters, threshold: int) -> frozenset[str]:
+    """Fault ids whose clusters have accumulated at least *threshold*
+    sightings -- the triage signal a guided fleet steers away from
+    (another witness of a 500-sighting cluster teaches nothing).
+
+    A fault implicated by several clusters saturates on their combined
+    sightings; a pure function of the cluster list, so the guided
+    orchestrator can recompute it at every round barrier.
+    """
+    totals: dict[str, int] = {}
+    for cluster in clusters:
+        for fault_id in cluster.faults:
+            totals[fault_id] = totals.get(fault_id, 0) + cluster.sightings
+    return frozenset(f for f, n in totals.items() if n >= threshold)

@@ -81,10 +81,16 @@ def parse_backend_name(name: str) -> tuple[str, "str | None"]:
 
 
 def infer_dialect(cluster: Cluster) -> str:
-    """The MiniDB profile to replay on: recorded dialect if present,
-    else the primary backend's recorded profile, else the profile of
-    the first ground-truth fault, else sqlite."""
-    for entry in cluster.entries:
+    """The MiniDB profile to replay on: the representative witness's
+    recorded dialect if present, else the dialect of another entry
+    (scanned in fingerprint order, so merged corpora infer the same
+    profile regardless of file order), else the primary backend's
+    recorded profile, else the profile of the first ground-truth
+    fault, else sqlite."""
+    representative = cluster.representative
+    if representative.dialect:
+        return representative.dialect
+    for entry in sorted(cluster.entries, key=lambda e: e.fingerprint):
         if entry.dialect:
             return entry.dialect
     if cluster.backend_pair:

@@ -1,0 +1,231 @@
+"""GuidedPolicy unit behaviour: selection, rewards, knob application,
+state round-trips."""
+
+import random
+
+from repro import CoddTestOracle, MiniDBAdapter, make_engine
+from repro.guidance import (
+    DEFAULT_ARMS,
+    Arm,
+    CoverageMap,
+    GuidedPolicy,
+    policy_seed,
+)
+from repro.oracles_base import TestOutcome as Outcome
+
+
+def outcome(fp=None, faults=(), status="ok"):
+    return Outcome(
+        status=status, fingerprint=fp, fired_faults=frozenset(faults)
+    )
+
+
+class TestSelection:
+    def test_first_pulls_cycle_arms_in_order(self):
+        policy = GuidedPolicy(seed=1, source="s0")
+        first = []
+        for _ in DEFAULT_ARMS:
+            first.append(policy.begin_test().name)
+            policy.observe(outcome())
+        assert first == [arm.name for arm in DEFAULT_ARMS]
+
+    def test_schedule_is_deterministic_in_seed(self):
+        def schedule(seed):
+            policy = GuidedPolicy(seed=seed, source="s0")
+            out = []
+            rng = random.Random(99)  # same synthetic outcomes either run
+            for i in range(120):
+                out.append(policy.begin_test().name)
+                fp = f"plan{rng.randrange(30)}"
+                policy.observe(outcome(fp))
+            return out
+
+        assert schedule(5) == schedule(5)
+        assert schedule(5) != schedule(6)  # seeded exploration differs
+
+    def test_rewarding_an_arm_attracts_budget(self):
+        policy = GuidedPolicy(seed=0, source="s0")
+        lucky = DEFAULT_ARMS[2].name
+        counter = 0
+        for _ in range(300):
+            arm = policy.begin_test()
+            if arm.name == lucky:
+                counter += 1
+                policy.observe(outcome(f"new{counter}"))  # always novel
+            else:
+                policy.observe(outcome("old"))  # never novel
+        pulls = {name: s.pulls for name, s in policy.stats.items()}
+        assert pulls[lucky] == max(pulls.values())
+        assert pulls[lucky] > 300 // len(DEFAULT_ARMS)
+
+    def test_saturated_faults_penalize_arm(self):
+        policy = GuidedPolicy(
+            seed=0, source="s0", saturated=frozenset({"f1"})
+        )
+        arm = policy.begin_test()
+        policy.observe(outcome("p1", faults={"f1"}))  # novel: no penalty
+        assert policy.stats[arm.name].reward == 1.0
+        arm = policy.begin_test()
+        policy.observe(outcome("p1", faults={"f1"}))  # stale + saturated
+        assert policy.stats[arm.name].reward < 0.0
+
+
+class TestObservation:
+    def test_known_plans_are_not_novel(self):
+        policy = GuidedPolicy(seed=0, source="s0", known_plans={"k"})
+        arm = policy.begin_test()
+        policy.observe(outcome("k"))
+        assert policy.stats[arm.name].reward == 0.0
+        arm2 = policy.begin_test()
+        policy.observe(outcome("fresh"))
+        assert policy.stats[arm2.name].reward == 1.0
+
+    def test_coverage_records_plans_faults_arms(self):
+        policy = GuidedPolicy(seed=0, source="src")
+        policy.begin_test()
+        policy.observe(outcome("p", faults={"f"}))
+        assert policy.coverage.plans == {"src": {"p": 1}}
+        assert policy.coverage.faults == {"src": {"f": 1}}
+        (arm, pulls, new),  = policy.coverage.arm_summary()
+        assert (pulls, new) == (1, 1)
+
+
+class TestStateRoundTrip:
+    def test_resumed_policy_continues_the_same_schedule(self):
+        reference = GuidedPolicy(seed=11, source="s0")
+        resumed = GuidedPolicy(seed=11, source="s0")
+        fps = [f"p{i % 17}" for i in range(50)]  # same stream both sides
+
+        for i, fp in enumerate(fps):
+            ref_arm = reference.begin_test().name
+            res_arm = resumed.begin_test().name
+            assert ref_arm == res_arm
+            reference.observe(outcome(fp))
+            resumed.observe(outcome(fp))
+            if i % 7 == 0:  # round-trip mid-run (round barrier)
+                resumed = GuidedPolicy.from_state(resumed.to_state())
+        assert reference.schedule == resumed.schedule
+        assert reference.to_state() == resumed.to_state()
+
+    def test_state_is_json_compatible(self):
+        import json
+
+        policy = GuidedPolicy(seed=3, source="s0")
+        for _ in range(10):
+            policy.begin_test()
+            policy.observe(outcome("p", faults={"f"}))
+        rehydrated = GuidedPolicy.from_state(
+            json.loads(json.dumps(policy.to_state()))
+        )
+        assert rehydrated.to_state() == policy.to_state()
+        # And it still selects (the rng state survived the round-trip).
+        assert rehydrated.begin_test().name == policy.begin_test().name
+
+
+class TestKnobApplication:
+    def test_arm_pushes_knobs_onto_live_generators(self):
+        oracle = CoddTestOracle()
+        adapter = MiniDBAdapter(make_engine("sqlite"))
+        adapter.execute("CREATE TABLE t0 (a INT)")
+        adapter.execute("INSERT INTO t0 VALUES (1)")
+        oracle.prepare(adapter, adapter.schema(), random.Random(0))
+        arm = Arm(
+            "test", max_depth=7, max_relations=3,
+            subquery_weight=2.0, aggregate_weight=3.0, join_weight=1.5,
+        )
+        arm.apply(oracle)
+        assert oracle.max_depth == 7
+        assert oracle.expr_gen.max_depth == 7
+        assert oracle.expr_gen.subquery_weight == 2.0
+        assert oracle.expr_gen.aggregate_weight == 3.0
+        assert oracle.query_gen.max_relations == 3
+        assert oracle.query_gen.join_weight == 1.5
+
+    def test_portable_baseline_is_never_widened(self):
+        oracle = CoddTestOracle()
+        adapter = MiniDBAdapter(make_engine("sqlite"))
+        adapter.execute("CREATE TABLE t0 (a INT)")
+        adapter.execute("INSERT INTO t0 VALUES (1)")
+        oracle.prepare(adapter, adapter.schema(), random.Random(0))
+        oracle.expr_gen.portable = True  # as a differential pair would
+        oracle.query_gen.portable = True
+        Arm("plain").apply(oracle)  # portable=False must not widen
+        assert oracle.expr_gen.portable is True
+        Arm("p", portable=True).apply(oracle)
+        assert oracle.expr_gen.portable is True
+        assert oracle.query_gen.portable is True
+        Arm("plain2").apply(oracle)
+        assert oracle.expr_gen.portable is True  # baseline, not widened
+
+    def test_portable_does_not_leak_into_the_next_arm(self):
+        # A portable-dialect pull must not leave later pulls of other
+        # arms generating in portable mode (reward mis-crediting).
+        oracle = CoddTestOracle()
+        adapter = MiniDBAdapter(make_engine("sqlite"))
+        adapter.execute("CREATE TABLE t0 (a INT)")
+        adapter.execute("INSERT INTO t0 VALUES (1)")
+        oracle.prepare(adapter, adapter.schema(), random.Random(0))
+        Arm("p", portable=True).apply(oracle)
+        assert oracle.expr_gen.portable is True
+        Arm("plain").apply(oracle)
+        assert oracle.expr_gen.portable is False
+        assert oracle.query_gen.portable is False
+
+    def test_uniform_arm_restores_the_configured_baseline(self):
+        # Arms are deltas from the campaign's configuration: a user's
+        # oracle_kwargs max_depth survives uniform pulls, and an arm
+        # override is undone by the next uniform pull.
+        oracle = CoddTestOracle(max_depth=6)
+        adapter = MiniDBAdapter(make_engine("sqlite"))
+        adapter.execute("CREATE TABLE t0 (a INT)")
+        adapter.execute("INSERT INTO t0 VALUES (1)")
+        oracle.prepare(adapter, adapter.schema(), random.Random(0))
+        uniform = DEFAULT_ARMS[0]
+        uniform.apply(oracle)
+        assert oracle.max_depth == 6
+        assert oracle.expr_gen.max_depth == 6
+        Arm("deep", max_depth=9, max_relations=3).apply(oracle)
+        assert oracle.expr_gen.max_depth == 9
+        assert oracle.query_gen.max_relations == 3
+        uniform.apply(oracle)
+        assert oracle.expr_gen.max_depth == 6
+        assert oracle.query_gen.max_relations == 2  # constructor default
+
+    def test_uniform_arm_is_the_unguided_configuration(self):
+        uniform = DEFAULT_ARMS[0]
+        assert uniform.name == "uniform"
+        assert uniform.max_depth is None  # = campaign baseline
+        assert uniform.max_relations is None
+        assert uniform.subquery_weight == 1.0
+        assert uniform.aggregate_weight == 1.0
+        assert uniform.join_weight == 1.0
+        assert uniform.portable is False
+
+
+class TestPolicySeed:
+    def test_decorrelated_from_generation_stream(self):
+        assert policy_seed(5) != 5
+        assert policy_seed(5) == policy_seed(5)
+        assert policy_seed(5) != policy_seed(6)
+
+
+class TestCoverageViews:
+    def test_saturated_faults_threshold(self):
+        cov = CoverageMap()
+        for _ in range(5):
+            cov.record_fault("a", "f_hot")
+        cov.record_fault("b", "f_hot", n=5)
+        cov.record_fault("a", "f_cold")
+        assert cov.saturated_faults(10) == {"f_hot"}
+        assert cov.saturated_faults(11) == frozenset()
+        assert cov.saturated_faults(1) == {"f_hot", "f_cold"}
+
+    def test_checkpoint_round_trip(self, tmp_path):
+        cov = CoverageMap()
+        cov.record_plan("s0", "p1")
+        cov.record_arm("s0", "uniform", new_plan=True)
+        path = str(tmp_path / "coverage.json")
+        cov.save(path)
+        assert CoverageMap.load(path).to_dict() == cov.to_dict()
+        assert CoverageMap.load(str(tmp_path / "nope.json")).to_dict() == \
+            CoverageMap().to_dict()

@@ -306,3 +306,97 @@ def test_codd_independent_fold_invariant(rows, predicate):
         f"SELECT * FROM t WHERE ({predicate}) AND (SELECT 1)"
     ).rows
     assert canonical(base) == canonical(folded)
+
+
+# ---------------------------------------------------------------------------
+# CoverageMap.merge: the CRDT-join laws snapshot exchange relies on
+# ---------------------------------------------------------------------------
+
+from repro.guidance import CoverageMap, merge_all  # noqa: E402
+
+source_names = st.sampled_from(["s0", "s1", "s2", "triage"])
+count_bucket = st.dictionaries(
+    st.sampled_from(["p1", "p2", "p3", "f1", "f2"]),
+    st.integers(min_value=1, max_value=9),
+    max_size=4,
+)
+arm_bucket = st.dictionaries(
+    st.sampled_from(["uniform", "join-heavy", "deep-subquery"]),
+    st.fixed_dictionaries(
+        {
+            "pulls": st.integers(min_value=0, max_value=30),
+            "new_plans": st.integers(min_value=0, max_value=30),
+        }
+    ),
+    max_size=3,
+)
+
+coverage_maps = st.builds(
+    lambda plans, faults, arms: CoverageMap.from_dict(
+        {"plans": plans, "faults": faults, "arms": arms}
+    ),
+    plans=st.dictionaries(source_names, count_bucket, max_size=3),
+    faults=st.dictionaries(source_names, count_bucket, max_size=3),
+    arms=st.dictionaries(source_names, arm_bucket, max_size=3),
+)
+
+
+class TestCoverageMergeProperties:
+    @given(a=coverage_maps, b=coverage_maps)
+    def test_commutative(self, a, b):
+        assert (
+            CoverageMap.merge(a, b).to_dict()
+            == CoverageMap.merge(b, a).to_dict()
+        )
+
+    @given(a=coverage_maps, b=coverage_maps, c=coverage_maps)
+    def test_associative(self, a, b, c):
+        left = CoverageMap.merge(CoverageMap.merge(a, b), c)
+        right = CoverageMap.merge(a, CoverageMap.merge(b, c))
+        assert left.to_dict() == right.to_dict()
+
+    @given(a=coverage_maps)
+    def test_idempotent(self, a):
+        assert CoverageMap.merge(a, a).to_dict() == a.to_dict()
+
+    @given(a=coverage_maps, b=coverage_maps)
+    def test_merge_with_overlapping_snapshot_is_an_upper_bound(self, a, b):
+        # Every (source, key) counter of either input survives the join
+        # at least as large -- merging a stale snapshot can never lose
+        # or double-count coverage.
+        merged = CoverageMap.merge(a, b)
+        for part in (a, b):
+            for source, bucket in part.plans.items():
+                for fp, n in bucket.items():
+                    assert merged.plans[source][fp] >= n
+            for source, bucket in part.faults.items():
+                for fid, n in bucket.items():
+                    assert merged.faults[source][fid] >= n
+
+    @given(a=coverage_maps, b=coverage_maps)
+    def test_disjoint_sources_concatenate(self, a, b):
+        # Rename b's sources so the two maps are disjoint: the join is
+        # then exactly the union, and global counts are the sums.
+        renamed = CoverageMap.from_dict(
+            {
+                "plans": {f"x-{s}": d for s, d in b.plans.items()},
+                "faults": {f"x-{s}": d for s, d in b.faults.items()},
+                "arms": {f"x-{s}": d for s, d in b.arms.items()},
+            }
+        )
+        merged = CoverageMap.merge(a, renamed)
+        assert merged.seen_plans() == a.seen_plans() | renamed.seen_plans()
+        merged_counts = merged.global_plan_counts()
+        a_counts = a.global_plan_counts()
+        b_counts = renamed.global_plan_counts()
+        for fp in merged_counts:
+            assert merged_counts[fp] == a_counts.get(fp, 0) + b_counts.get(
+                fp, 0
+            )
+
+    @given(maps=st.lists(coverage_maps, min_size=0, max_size=4))
+    def test_merge_all_matches_pairwise_folds(self, maps):
+        folded = CoverageMap()
+        for m in maps:
+            folded = CoverageMap.merge(folded, m)
+        assert merge_all(maps).to_dict() == folded.to_dict()

@@ -152,3 +152,65 @@ class TestFleetRoundTrip:
         run_fleet(config, corpus=corpus)
         clusters = cluster_corpus(corpus.entries.values())
         assert replay_clusters(clusters) == replay_clusters(clusters)
+
+
+class TestRepresentativeSelectionDeterminism:
+    """Pinned: representative selection and dialect inference must not
+    depend on the order corpus files were merged in (two witnesses of
+    one cluster can share a reduced length; the tie must break on
+    fingerprint, and replay must infer the same dialect either way)."""
+
+    def _two_witnesses(self):
+        # Same cluster key (same faults/plan/kind), same reduced length,
+        # different fingerprints and recorded dialects.
+        a = make_entry(fingerprint="aaaa000000000001")
+        a.reduced_statements = ["CREATE TABLE t0 (c0 INT)", "SELECT 1"]
+        a.dialect = "sqlite"
+        b = make_entry(fingerprint="bbbb000000000002")
+        b.reduced_statements = ["CREATE TABLE t0 (c0 BIGINT)", "SELECT 2"]
+        b.dialect = "tidb"
+        return a, b
+
+    def test_same_representative_in_either_merge_order(self):
+        a, b = self._two_witnesses()
+        (forward,) = cluster_corpus([a, b])
+        a2, b2 = self._two_witnesses()
+        (backward,) = cluster_corpus([b2, a2])
+        assert (
+            forward.representative.fingerprint
+            == backward.representative.fingerprint
+            == "aaaa000000000001"  # smallest fingerprint wins the tie
+        )
+
+    def test_same_inferred_dialect_in_either_merge_order(self):
+        a, b = self._two_witnesses()
+        (forward,) = cluster_corpus([a, b])
+        a2, b2 = self._two_witnesses()
+        (backward,) = cluster_corpus([b2, a2])
+        assert infer_dialect(forward) == infer_dialect(backward)
+        # Specifically: the dialect of the *representative*, not of
+        # whichever entry happened to be loaded first.
+        assert infer_dialect(backward) == "sqlite"
+
+    def test_dialect_scan_is_fingerprint_ordered_when_rep_has_none(self):
+        a, b = self._two_witnesses()
+        a.dialect = None  # representative (smallest fp) lacks a dialect
+        b2, a2 = self._two_witnesses()[1], self._two_witnesses()[0]
+        a2.dialect = None
+        (forward,) = cluster_corpus([a, b])
+        (backward,) = cluster_corpus([b2, a2])
+        # Falls back to the fingerprint-ordered scan: entry b both ways.
+        assert infer_dialect(forward) == infer_dialect(backward) == "tidb"
+
+    def test_same_replay_verdict_in_either_merge_order(self):
+        a, b = self._two_witnesses()
+        (forward,) = cluster_corpus([a, b])
+        a2, b2 = self._two_witnesses()
+        (backward,) = cluster_corpus([b2, a2])
+        vf = replay_representative(forward)
+        vb = replay_representative(backward)
+        assert (vf.status, vf.witness, vf.detail) == (
+            vb.status,
+            vb.witness,
+            vb.detail,
+        )

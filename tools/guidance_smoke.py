@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""CI smoke: a short guided fleet must match uniform plan coverage.
+
+Runs the same 200-test planted-fault campaign twice on the fixture
+generation stream -- once uniform-random, once with
+``--guidance plan-coverage`` -- and exits nonzero if the guided run
+minted fewer unique plan fingerprints at equal budget.  Both counts
+are deterministic in the seed, so a regression here is a real one.
+
+Usage: PYTHONPATH=src python tools/guidance_smoke.py [--tests N] [--seed S]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import FleetConfig, run_fleet
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--tests", type=int, default=200)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--workers", type=int, default=1)
+    args = parser.parse_args(argv)
+
+    def campaign(guidance: str | None):
+        return run_fleet(
+            FleetConfig(
+                oracle="coddtest",
+                dialect="sqlite",
+                buggy=True,
+                workers=args.workers,
+                seed=args.seed,
+                n_tests=args.tests,
+                guidance=guidance,
+            )
+        )
+
+    uniform = campaign(None)
+    guided = campaign("plan-coverage")
+    u_plans = len(uniform.merged.unique_plans)
+    g_plans = len(guided.merged.unique_plans)
+
+    print(
+        f"guidance smoke ({args.tests} tests, seed {args.seed}, "
+        f"{args.workers} worker(s)):"
+    )
+    print(f"  uniform-random: {u_plans} unique plan fingerprints")
+    print(f"  plan-coverage:  {g_plans} unique plan fingerprints")
+    for arm, pulls, new in guided.arm_summary:
+        print(f"    {arm:18s} {pulls:5d} pulls {new:5d} new plans")
+
+    if g_plans < u_plans:
+        print(
+            "FAIL: guided generation found fewer unique plans than "
+            "uniform at equal budget",
+            file=sys.stderr,
+        )
+        return 1
+    print("OK: guided >= uniform at equal budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
