@@ -1,0 +1,58 @@
+"""Evaluation-cache speedup on the fig2 workload (ROADMAP
+"Worker-local caching").
+
+Cache-on vs cache-off campaigns at MaxDepth 3/5/7, measured with the
+shared :mod:`repro.perf.bench` helpers so this benchmark emits the
+exact ``BENCH_perf.json`` record schema the perf-smoke CI job uploads.
+
+Assertions are shape-level and deliberately loose for shared hardware:
+the cache must never *lose* throughput (speedup >= 1 at every depth),
+and the two campaigns of every pair must be bit-identical -- the hard
+contract, also gated as a blocking CI job on every push.  The measured
+target (>= 1.5x at MaxDepth >= 5) is recorded in the JSON rather than
+asserted here.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.perf.bench import bench_payload, measure_depth
+
+DEPTHS = (3, 5, 7)
+TESTS_PER_DEPTH = 400
+SEED = 17
+
+
+def test_cache_speedup_maxdepth_sweep(benchmark):
+    def sweep():
+        measure_depth(3, tests=100, seed=SEED)  # warm-up: imports, allocator
+        return [
+            measure_depth(depth, tests=TESTS_PER_DEPTH, seed=SEED)
+            for depth in DEPTHS
+        ]
+
+    records = run_once(benchmark, sweep)
+    payload = bench_payload(records)
+    benchmark.extra_info["BENCH_perf"] = payload
+
+    print("\n[cache speedup] fig2 MaxDepth sweep, cache-off vs cache-on:")
+    for r in records:
+        print(
+            f"  depth {r['max_depth']}: "
+            f"{r['tests_per_second_cache_off']:8.1f} -> "
+            f"{r['tests_per_second_cache_on']:8.1f} tests/s  "
+            f"(speedup {r['speedup']:.2f}x, "
+            f"hit rate {100 * r['cache_hit_rate']:.1f}%)"
+        )
+
+    # Hard contract: cache-on campaigns are bit-identical to cache-off.
+    assert payload["all_signatures_identical"], records
+
+    # The cache must pay for itself at every depth ...
+    for r in records:
+        assert r["speedup"] >= 1.0, records
+    # ... and the hit rate must be substantial where expression
+    # evaluation dominates (deep expressions memoize well).
+    deep = [r for r in records if r["max_depth"] >= 5]
+    assert all(r["cache_hit_rate"] > 0.2 for r in deep), records

@@ -34,6 +34,7 @@ from repro.fleet import (
 from repro.guidance import Arm, CoverageMap, GuidedPolicy
 from repro.minidb import Engine, EngineProfile
 from repro.oracles_base import Oracle, TestOutcome, TestReport
+from repro.perf import CacheStats, EvalCache
 from repro.runner import (
     Campaign,
     CampaignStats,
@@ -88,6 +89,8 @@ __all__ = [
     "Arm",
     "CoverageMap",
     "GuidedPolicy",
+    "EvalCache",
+    "CacheStats",
     "Cluster",
     "cluster_corpus",
     "load_corpus",

@@ -88,6 +88,23 @@ class EngineAdapter(abc.ABC):
         (simulated engines only; real DBMSs return an empty set)."""
         return frozenset()
 
+    def attach_eval_cache(self, cache, namespace: str = "") -> None:
+        """Attach a worker-local :class:`repro.perf.EvalCache`.
+
+        Optional: adapters that cannot cache safely simply ignore the
+        call.  *namespace* disambiguates statement-result keys when one
+        cache serves several adapters (e.g. a differential pair whose
+        two backends may share a display name but not behaviour).
+        """
+
+    def prime_parse(self, sql: str, ast) -> None:
+        """Offer the parser-normal AST of *sql* to the parse memo.
+
+        Called by the oracles right after rendering *ast* to *sql*, so
+        a cached adapter can skip re-parsing text it is about to
+        receive.  No-op without an attached cache or for adapters that
+        do not parse."""
+
     def clone(self) -> "EngineAdapter":
         """Copy of the adapter with identical state (used by DQE-style
         oracles that mutate data).  Optional."""

@@ -32,14 +32,76 @@ class Sqlite3Adapter(EngineAdapter):
 
     def __init__(self) -> None:
         self._conn = sqlite3.connect(":memory:")
+        self._cache = None
+        self._cache_ns = self.name
+        self._state_token = ""
+        self._executed_any = False
+
+    def attach_eval_cache(self, cache, namespace: str = "") -> None:
+        """Memoize read-only statement results keyed by the state-token
+        hash chain.  A released SQLite evaluates the generated (fully
+        deterministic) dialect subset reproducibly, so replaying a
+        recorded result -- including recorded ``sqlite3.Error`` messages
+        -- is indistinguishable from re-executing the query."""
+        from repro.perf.cache import INITIAL_STATE_TOKEN
+
+        self._cache = cache
+        self._cache_ns = namespace or self.name
+        self._state_token = (
+            INITIAL_STATE_TOKEN
+            if not self._executed_any
+            else cache.unique_token()
+        )
 
     def execute(self, sql: str) -> ExecResult:
+        row_returning = is_row_returning(sql)
+        cache = self._cache
+        if cache is None:
+            return self._execute(sql, row_returning)
+        from repro.perf.cache import CachedStatement, advance_state_token
+
+        if not row_returning:
+            self._state_token = advance_state_token(self._state_token, sql)
+            return self._execute(sql, row_returning)
+        key = (self._cache_ns, self._state_token, sql)
+        entry = cache.lookup_statement(key)
+        if entry is not None:
+            entry.raise_error()
+            return ExecResult(
+                columns=list(entry.columns),
+                rows=list(entry.rows),
+                plan_fingerprint=entry.plan_fingerprint,
+                rows_affected=entry.rows_affected,
+            )
+        try:
+            result = self._execute(sql, row_returning)
+        except SqlError as exc:
+            cache.store_statement(
+                key,
+                CachedStatement(error_type=type(exc), error_message=str(exc)),
+            )
+            raise
+        cache.store_statement(
+            key,
+            CachedStatement(
+                columns=tuple(result.columns),
+                rows=tuple(result.rows),
+                plan_fingerprint=result.plan_fingerprint,
+                rows_affected=result.rows_affected,
+            ),
+        )
+        return result
+
+    def _execute(self, sql: str, row_returning: bool | None = None) -> ExecResult:
         fingerprint = None
+        self._executed_any = True
         try:
             # Robust statement-kind detection: leading comments,
             # parenthesized selects, VALUES clauses, and lowercase
-            # keywords all still yield a plan fingerprint.
-            if is_row_returning(sql):
+            # keywords all still yield a plan fingerprint.  The caller
+            # usually classified the statement already and passes the
+            # verdict down.
+            if is_row_returning(sql) if row_returning is None else row_returning:
                 fingerprint = self._explain(sql)
             cursor = self._conn.execute(sql)
             rows = [tuple(self._convert(v) for v in row) for row in cursor.fetchall()]
@@ -94,6 +156,9 @@ class Sqlite3Adapter(EngineAdapter):
     def reset(self) -> None:
         self._conn.close()
         self._conn = sqlite3.connect(":memory:")
+        self._executed_any = False
+        if self._cache is not None:
+            self.attach_eval_cache(self._cache, self._cache_ns)
 
     def clone(self) -> "Sqlite3Adapter":
         copy = Sqlite3Adapter()

@@ -55,8 +55,8 @@ class EETOracle(Oracle):
 
         base = self.query_gen.star_query(skeleton, predicate)
         rewritten = self.query_gen.star_query(skeleton, transformed)
-        base_rows = self.execute(base.to_sql(), is_main_query=True).rows
-        new_rows = self.execute(rewritten.to_sql()).rows
+        base_rows = self.execute(base.to_sql(), is_main_query=True, ast=base).rows
+        new_rows = self.execute(rewritten.to_sql(), ast=rewritten).rows
         if rows_equal(base_rows, new_rows):
             return None
         return self.report(

@@ -52,11 +52,13 @@ class NoRECOracle(Oracle):
         predicate = self.expr_gen.predicate(skeleton.scope).expr
 
         optimized = self.query_gen.count_query(skeleton, predicate)
-        opt_rows = self.execute(optimized.to_sql(), is_main_query=True).rows
+        opt_rows = self.execute(
+            optimized.to_sql(), is_main_query=True, ast=optimized
+        ).rows
         optimized_count = opt_rows[0][0] if opt_rows else 0
 
         unoptimized = self.query_gen.fetch_predicate_query(skeleton, predicate)
-        raw = self.execute(unoptimized.to_sql()).rows
+        raw = self.execute(unoptimized.to_sql(), ast=unoptimized).rows
         reference_count = sum(
             1 for (value,) in raw if truth(value, TypingMode.RELAXED) is True
         )

@@ -71,7 +71,7 @@ class TLPOracle(Oracle):
     ) -> TestReport | None:
         assert self.query_gen is not None
         base = self.query_gen.star_query(skeleton, None)
-        expected = self.execute(base.to_sql()).rows
+        expected = self.execute(base.to_sql(), ast=base).rows
         union: list = []
         if self.rng.random() < 0.8:
             # Execute the three partitions as one UNION ALL query -- the
@@ -87,7 +87,7 @@ class TLPOracle(Oracle):
             for i, part in enumerate(partitions):
                 q = self.query_gen.star_query(skeleton, part)
                 union.extend(
-                    self.execute(q.to_sql(), is_main_query=(i == 0)).rows
+                    self.execute(q.to_sql(), is_main_query=(i == 0), ast=q).rows
                 )
         if rows_equal(expected, union):
             return None
@@ -121,11 +121,13 @@ class TLPOracle(Oracle):
                 where=where,
             )
 
-        base_rows = self.execute(agg_query(None).to_sql()).rows
+        base_query = agg_query(None)
+        base_rows = self.execute(base_query.to_sql(), ast=base_query).rows
         base = base_rows[0][0]
         parts = []
         for i, part in enumerate(partitions):
-            rows = self.execute(agg_query(part).to_sql(), is_main_query=(i == 0)).rows
+            q = agg_query(part)
+            rows = self.execute(q.to_sql(), is_main_query=(i == 0), ast=q).rows
             parts.append(rows[0][0])
 
         combined = _combine(func, parts)
@@ -141,13 +143,13 @@ class TLPOracle(Oracle):
         assert self.query_gen is not None
         group_col = self.rng.choice(skeleton.scope)
         base = self.query_gen.grouped_query(skeleton, having=None, group_col=group_col)
-        expected = self.execute(base.to_sql()).rows
+        expected = self.execute(base.to_sql(), ast=base).rows
         union: list = []
         for i, part in enumerate(partitions):
             q = self.query_gen.grouped_query(
                 skeleton, having=part, group_col=group_col
             )
-            union.extend(self.execute(q.to_sql(), is_main_query=(i == 0)).rows)
+            union.extend(self.execute(q.to_sql(), is_main_query=(i == 0), ast=q).rows)
         if rows_equal(expected, union):
             return None
         return self.report(

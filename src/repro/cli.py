@@ -179,6 +179,7 @@ def main(argv: list[str] | None = None) -> int:
         "--quiet", action="store_true", help="suppress progress lines"
     )
     _add_guidance_args(diff)
+    _add_cache_args(diff)
 
     compare = sub.add_parser(
         "compare",
@@ -190,6 +191,7 @@ def main(argv: list[str] | None = None) -> int:
     compare.add_argument("--dialect", choices=sorted(PROFILES), default="sqlite")
     compare.add_argument("--seed", type=int, default=0)
     compare.add_argument("--workers", type=int, default=1)
+    _add_cache_args(compare)
 
     real = sub.add_parser(
         "sqlite3",
@@ -201,6 +203,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     real.add_argument("--tests", type=int, default=200)
     real.add_argument("--seed", type=int, default=0)
+    _add_cache_args(real)
 
     _add_corpus_parser(sub)
 
@@ -266,6 +269,7 @@ def _add_corpus_parser(sub) -> None:
         help="override the MiniDB profile used for replay (default: "
         "the dialect recorded per entry, else inferred from fault ids)",
     )
+    _add_replay_cache_arg(report)
 
     merge = csub.add_parser(
         "merge",
@@ -301,6 +305,30 @@ def _add_corpus_parser(sub) -> None:
         help="exit nonzero when any cluster replays as stale "
         "(unverifiable clusters have nothing to re-check and pass)",
     )
+    _add_replay_cache_arg(replay)
+
+
+def _add_replay_cache_arg(sub_parser) -> None:
+    sub_parser.add_argument(
+        "--cache",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="share one evaluation cache across replayed witnesses "
+        "(default: on; verdicts are identical either way).  --no-cache "
+        "replays every witness on the uncached reference path.",
+    )
+
+
+def _add_cache_args(sub_parser) -> None:
+    sub_parser.add_argument(
+        "--cache",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="worker-local evaluation caching on the oracle hot path "
+        "(default: on).  Campaign results are bit-identical with and "
+        "without the cache (gated in CI); only throughput and the "
+        "cache-stats line differ.  --no-cache disables it.",
+    )
 
 
 def _add_campaign_args(sub_parser, default_tests: int | None) -> None:
@@ -319,6 +347,7 @@ def _add_campaign_args(sub_parser, default_tests: int | None) -> None:
         help="enable the profile's injected fault catalog",
     )
     _add_guidance_args(sub_parser)
+    _add_cache_args(sub_parser)
 
 
 def _add_guidance_args(sub_parser) -> None:
@@ -354,10 +383,12 @@ def _hunt(args) -> int:
         n_tests=args.tests,
         guidance=args.guidance,
         guidance_rounds=args.guidance_rounds,
+        use_cache=args.cache,
     )
     result = run_fleet(config)
     stats = result.merged
     _print_arm_summary(result)
+    _print_cache_line(stats)
     print(
         f"{args.oracle} on {args.dialect}: {stats.tests} tests, "
         f"{stats.queries_ok} queries, QPT {stats.qpt:.2f}, "
@@ -392,6 +423,7 @@ def _fleet(args) -> int:
         max_reports=args.max_reports,
         guidance=args.guidance,
         guidance_rounds=args.guidance_rounds,
+        use_cache=args.cache,
     )
     reduce_fn = None if args.no_reduce else make_replay_reducer(config)
     corpus, known_before = _open_corpus(args.corpus, reduce_fn)
@@ -400,6 +432,7 @@ def _fleet(args) -> int:
 
     result = run_fleet(config, corpus=corpus, printer=printer, coverage=coverage)
     _print_arm_summary(result)
+    _print_cache_line(result.merged)
 
     print(render_fleet_table(result.shards, result.merged))
     print(
@@ -444,6 +477,23 @@ def _open_coverage(args) -> "tuple[CoverageMap | None, str | None]":
     if path is None:
         return None, None
     return CoverageMap.load(path), path
+
+
+def _print_cache_line(stats) -> None:
+    """One-line hit/miss summary of the worker-local evaluation cache
+    (silent when the run was uncached).  Cache counters are the only
+    campaign output allowed to vary between cache-on and cache-off
+    runs of the same seed."""
+    cs = stats.cache_stats
+    if not cs:
+        return
+    print(
+        f"eval cache: {stats.cache_hits} hits / {stats.cache_misses} "
+        f"misses ({100 * stats.cache_hit_rate:.1f}% hit rate; "
+        f"parse {cs.get('parse_hits', 0)}/{cs.get('parse_hits', 0) + cs.get('parse_misses', 0)}, "
+        f"stmt {cs.get('stmt_hits', 0)}/{cs.get('stmt_hits', 0) + cs.get('stmt_misses', 0)}, "
+        f"expr {cs.get('eval_hits', 0)}/{cs.get('eval_hits', 0) + cs.get('eval_misses', 0)})"
+    )
 
 
 def _print_arm_summary(result) -> None:
@@ -516,6 +566,7 @@ def _diff(args) -> int:
         max_reports=args.max_reports,
         guidance=args.guidance,
         guidance_rounds=args.guidance_rounds,
+        use_cache=args.cache,
     )
     corpus, known_before = _open_corpus(args.corpus)
     printer = None if args.quiet else ProgressPrinter()
@@ -524,6 +575,7 @@ def _diff(args) -> int:
     result = run_fleet(config, corpus=corpus, printer=printer, coverage=coverage)
     stats = result.merged
     _print_arm_summary(result)
+    _print_cache_line(stats)
 
     print(render_fleet_table(result.shards, stats))
     print(
@@ -574,6 +626,7 @@ def _compare(args) -> int:
             workers=args.workers,
             seed=args.seed,
             n_tests=args.tests,
+            use_cache=args.cache,
         )
         stats = run_fleet(config).merged
         print(
@@ -597,7 +650,9 @@ def _corpus_report(args) -> int:
     verdicts = (
         None
         if args.no_replay
-        else replay_clusters(clusters, dialect=args.dialect)
+        else replay_clusters(
+            clusters, dialect=args.dialect, use_cache=args.cache
+        )
     )
     print(render_triage(clusters, verdicts, fmt=args.format))
     return 0
@@ -616,8 +671,18 @@ def _corpus_merge(args) -> int:
 def _corpus_replay(args) -> int:
     clusters = cluster_corpus(load_corpus(args.paths))
     stale = 0
+    # One cache across the whole corpus (like `corpus report`), so
+    # witnesses sharing DDL prefixes parse once; None replays every
+    # witness uncached.
+    cache = None
+    if args.cache:
+        from repro.perf import EvalCache
+
+        cache = EvalCache()
     for cluster in clusters:
-        verdict = replay_representative(cluster, dialect=args.dialect)
+        verdict = replay_representative(
+            cluster, dialect=args.dialect, cache=cache, use_cache=args.cache
+        )
         if verdict.status == "stale":
             stale += 1
         witness = (
@@ -640,7 +705,13 @@ def _corpus_replay(args) -> int:
 def _sqlite3(args) -> int:
     adapter = Sqlite3Adapter()
     oracle = CoddTestOracle(relation_mode_prob=0.0)
-    stats = run_campaign(oracle, adapter, n_tests=args.tests, seed=args.seed)
+    stats = run_campaign(
+        oracle,
+        adapter,
+        n_tests=args.tests,
+        seed=args.seed,
+        use_cache=args.cache,
+    )
     print(
         f"coddtest on real sqlite3: {stats.tests} tests, "
         f"{stats.queries_ok} queries, {len(stats.reports)} reports"

@@ -115,7 +115,7 @@ class CoddTestOracle(Oracle):
                 phi_gen,
                 skeleton,
                 phi_in_join_on=(placement == "join_on"),
-                execute=lambda sql: self.execute(sql).rows,
+                execute=lambda sql, ast=None: self.execute(sql, ast=ast).rows,
                 scalar_multi_row=self._scalar_multi_row_policy(),
                 is_correlated=is_correlated_select,
             )
@@ -132,12 +132,14 @@ class CoddTestOracle(Oracle):
         shape = self._choose_shape(skeleton, placement)
 
         original = self._make_query(skeleton, placement, predicate, shape)
-        o_result = self.execute(original.to_sql(), is_main_query=True)
+        o_result = self.execute(
+            original.to_sql(), is_main_query=True, ast=original
+        )
 
         # Step 5: constant propagation yields the folded query.
         folded_pred = A.replace_node(predicate, fold.target, fold.replacement)
         folded = self._make_query(skeleton, placement, folded_pred, shape)
-        f_result = self.execute(folded.to_sql())
+        f_result = self.execute(folded.to_sql(), ast=folded)
 
         if rows_equal(o_result.rows, f_result.rows):
             return None

@@ -244,8 +244,12 @@ def fold_expression(
 ) -> FoldResult:
     """Fold phi, executing auxiliary queries through *execute*.
 
-    *execute* is a callable ``sql -> rows`` provided by the oracle (so
-    query accounting stays in one place).  ``is_correlated`` decides
+    *execute* is a callable ``(sql, ast) -> rows`` provided by the
+    oracle (so query accounting stays in one place); *ast* is the
+    auxiliary SELECT the SQL was rendered from, letting a cached
+    adapter skip the re-parse.  The auxiliary SQL doubles as the
+    canonical phi fingerprint under which the perf layer memoizes the
+    auxiliary result for the current database state.  ``is_correlated`` decides
     whether a subquery node can be folded independently of the outer row
     (non-correlated, paper Section 3.1) or must go through the dependent
     path (correlated, Section 3.2).
@@ -260,7 +264,7 @@ def fold_expression(
     # Special shapes: subquery operands folded structurally.
     if isinstance(phi, A.InSubquery) and not correlated(phi.query):
         aux = phi.query
-        rows = execute(aux.to_sql())
+        rows = execute(aux.to_sql(), aux)
         values = fold_value_list(rows)
         if values:
             replacement: A.Expr = A.InList(phi.operand, tuple(values), phi.negated)
@@ -271,7 +275,7 @@ def fold_expression(
 
     if isinstance(phi, A.Quantified) and not correlated(phi.query):
         aux = phi.query
-        rows = execute(aux.to_sql())
+        rows = execute(aux.to_sql(), aux)
         if not rows:
             # op ANY over the empty set is FALSE; op ALL is TRUE.
             lit = A.Literal(phi.quantifier.upper() == "ALL")
@@ -282,7 +286,7 @@ def fold_expression(
 
     if isinstance(phi, A.Exists) and not correlated(phi.query):
         aux = phi.query
-        rows = execute(aux.to_sql())
+        rows = execute(aux.to_sql(), aux)
         result = len(rows) > 0
         if phi.negated:
             result = not result
@@ -290,20 +294,20 @@ def fold_expression(
 
     if isinstance(phi, A.ScalarSubquery) and not correlated(phi.query):
         aux = aux_for_independent(phi)
-        rows = execute(aux.to_sql())
+        rows = execute(aux.to_sql(), aux)
         return FoldResult(
             aux.to_sql(), phi, fold_scalar(rows, scalar_multi_row)
         )
 
     if gen.independent:
         aux = aux_for_independent(phi)
-        rows = execute(aux.to_sql())
+        rows = execute(aux.to_sql(), aux)
         return FoldResult(
             aux.to_sql(), phi, fold_scalar(rows, scalar_multi_row)
         )
 
     # Dependent expression: per-row CASE mapping.
     aux = aux_for_dependent(phi, gen.outer_refs, skeleton, phi_in_join_on)
-    rows = execute(aux.to_sql())
+    rows = execute(aux.to_sql(), aux)
     mapping = build_case_mapping(gen.outer_refs, rows)
     return FoldResult(aux.to_sql(), phi, mapping)

@@ -146,7 +146,7 @@ class DifferentialOracle(Oracle):
             )
 
         try:
-            self.execute(query.to_sql(), is_main_query=True)
+            self.execute(query.to_sql(), is_main_query=True, ast=query)
         except DifferentialMismatch as exc:
             # Ground-truth attribution: the fault (if any) fired on the
             # primary while producing the diverging result.

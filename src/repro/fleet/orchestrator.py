@@ -55,6 +55,7 @@ from repro.guidance import (
     policy_seed,
 )
 from repro.oracles_base import Oracle, TestReport
+from repro.perf import EvalCache
 from repro.runner.campaign import Campaign, CampaignStats
 from repro.runner.reducer import reduce_statements
 
@@ -99,6 +100,11 @@ class FleetConfig:
     guidance_rounds: int = 4
     #: Fleet-wide sightings at which a fault counts as saturated.
     saturation_threshold: int = 20
+    #: Worker-local evaluation caching (repro.perf): each shard owns one
+    #: EvalCache, never shared across processes.  On by default because
+    #: cache-on campaigns are bit-identical to cache-off ones (gated by
+    #: the perf-smoke CI job); ``coddtest ... --no-cache`` turns it off.
+    use_cache: bool = True
 
     def __post_init__(self) -> None:
         if self.oracle not in ORACLE_FACTORIES:
@@ -189,6 +195,7 @@ def build_shards(config: FleetConfig) -> list[ShardSpec]:
             # truncates again, and the stop event ends the other shards.
             max_reports=config.max_reports,
             backend_pair=config.backend_pair,
+            use_cache=config.use_cache,
         )
         for i in range(config.workers)
     ]
@@ -265,6 +272,7 @@ def _run_shard(
     """
     oracle = ORACLE_FACTORIES[spec.oracle](**spec.oracle_kwargs)
     policy = _build_policy(spec)
+    cache = EvalCache() if spec.use_cache else None
     campaign = Campaign(
         oracle,
         _build_adapter(spec),
@@ -274,6 +282,7 @@ def _run_shard(
         should_stop=should_stop,
         on_progress=on_progress,
         policy=policy,
+        cache=cache,
     )
     stats = campaign.run(n_tests=spec.n_tests, seconds=spec.seconds)
     payload: dict = {"stats": stats}
@@ -564,6 +573,7 @@ def _build_guided_shards(
             coverage_snapshot=snapshot,
             saturated_faults=tuple(sorted(saturated)),
             coverage_source=f"{config.seed}:{i}/{config.workers}{epoch}",
+            use_cache=config.use_cache,
         )
         for i in range(config.workers)
     ]
@@ -933,6 +943,16 @@ def make_replay_reducer(config: FleetConfig) -> ReduceFn | None:
         if not target and not exceptional:
             return None  # nothing observable to check against
 
+        # One cache per reduction: ddmin replays dozens of candidate
+        # programs that share the state-building DDL prefix, so the
+        # parse memo and the state-token-keyed result memo turn the
+        # shared prefix into lookups instead of re-parsing and
+        # re-executing it per candidate (identical prefixes produce
+        # identical tokens, so sharing across fresh engines is exact).
+        # --no-cache fleets reduce uncached too, keeping the flag a
+        # genuine reference path for isolating cache bugs.
+        cache = EvalCache() if config.use_cache else None
+
         def still_fails(stmts: list[str]) -> bool:
             adapter = _build_adapter(
                 ShardSpec(
@@ -947,6 +967,8 @@ def make_replay_reducer(config: FleetConfig) -> ReduceFn | None:
                     buggy=config.buggy,
                 )
             )
+            if cache is not None:
+                adapter.attach_eval_cache(cache)
             fired: set[str] = set()
             for sql in stmts:
                 try:

@@ -116,3 +116,8 @@ class ShardSpec:
     #: Stable owner id for this shard's coverage counters (includes the
     #: fleet seed, so re-running the same fleet merges idempotently).
     coverage_source: str = ""
+    #: Build a worker-local :class:`repro.perf.EvalCache` for this
+    #: shard's campaign.  Caches are per-process and never pickled, so
+    #: the flag travels instead of the cache; shard results are
+    #: bit-identical either way.
+    use_cache: bool = False

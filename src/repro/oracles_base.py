@@ -185,15 +185,24 @@ class Oracle(abc.ABC):
         )
         return out
 
-    def execute(self, sql: str, is_main_query: bool = False) -> ExecResult:
+    def execute(
+        self, sql: str, is_main_query: bool = False, ast=None
+    ) -> ExecResult:
         """Run one query, with bookkeeping.
 
         Expected errors abandon the test (raising :class:`OracleSkip`);
         injected internal errors / crashes / hangs propagate to
         :meth:`run_one`, which converts them to bug reports.
+
+        *ast*, when the caller just rendered *sql* from an AST, is
+        offered to the adapter's parse memo (no-op without an attached
+        :class:`repro.perf.EvalCache`); bookkeeping is identical either
+        way.
         """
         assert self.adapter is not None
         self._statements.append(sql)
+        if ast is not None:
+            self.adapter.prime_parse(sql, ast)
         try:
             result = self.adapter.execute(sql)
         except SqlError:

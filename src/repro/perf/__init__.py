@@ -1,0 +1,48 @@
+"""Worker-local evaluation caching for the oracle hot path.
+
+The paper's testbed sustains throughput by running on 64 cores; this
+reproduction additionally avoids *recomputing* work that is provably
+identical across the statements of one campaign (ROADMAP,
+"Worker-local caching").  Three memo domains live behind one
+:class:`EvalCache`:
+
+* **parse** -- SQL text -> parsed statement AST.  Pure, so entries are
+  state-independent.  The oracles *prime* this memo with the
+  parser-normal form of the ASTs they just rendered (see
+  :func:`parser_normal`), which removes the dominant
+  ``to_sql() -> parse()`` round-trip from the O/F/auxiliary hot path.
+* **statement** -- ``(namespace, state token, SQL)`` -> the full
+  observable outcome of a read-only statement: result rows, plan
+  fingerprint, fired fault ids, newly hit coverage tags, or the raised
+  error.  The state token is a hash chain over every state-changing
+  statement since ``reset()``, so DML/DDL invalidates implicitly and
+  two adapters replaying the same program prefix share entries (the
+  ddmin reducer and triage replay exploit this).  This is where the
+  auxiliary-query results of ``fold_expression`` are memoized: the
+  auxiliary SQL is the canonical phi fingerprint, and caching *below*
+  the oracle's bookkeeping keeps queries_ok / statement lists /
+  reports bit-identical.
+* **expression** -- per-statement memoization of row-independent
+  subtree values inside :mod:`repro.minidb.evaluator` (no column
+  references, no subqueries, no aggregates), so a deep constant
+  subtree is evaluated once per statement instead of once per row.
+
+Determinism contract: a campaign with a cache attached is
+**bit-identical** to the same campaign without one --
+``CampaignStats.signature()``, every ``TestReport``, fired-fault
+attribution, and branch coverage all match.  Caches are worker-local:
+each :class:`~repro.runner.campaign.Campaign` (and each fleet shard)
+owns one instance and nothing is shared across processes, so 1-worker
+bit-match guarantees are preserved.
+"""
+
+from repro.perf.cache import CachedStatement, CacheStats, EvalCache, advance_state_token
+from repro.perf.normalize import parser_normal
+
+__all__ = [
+    "CacheStats",
+    "CachedStatement",
+    "EvalCache",
+    "advance_state_token",
+    "parser_normal",
+]

@@ -41,6 +41,11 @@ class CampaignStats:
     branch_coverage: float = 0.0
     unique_plans: set[str] = field(default_factory=set)
     reports: list[TestReport] = field(default_factory=list)
+    #: Hit/miss counters of the worker-local evaluation cache (see
+    #: :mod:`repro.perf`); empty when the campaign ran uncached.
+    #: Deliberately absent from :meth:`signature`: the signature asserts
+    #: cache-on/off equivalence, these counters are what differs.
+    cache_stats: dict[str, int] = field(default_factory=dict)
 
     @classmethod
     def merge(
@@ -72,6 +77,8 @@ class CampaignStats:
             )
             merged.unique_plans |= part.unique_plans
             merged.reports.extend(part.reports)
+            for key, value in part.cache_stats.items():
+                merged.cache_stats[key] = merged.cache_stats.get(key, 0) + value
         if max_reports is not None:
             del merged.reports[max_reports:]
         return merged
@@ -123,6 +130,27 @@ class CampaignStats:
             return 0.0
         return self.tests / self.wall_seconds
 
+    def _cache_totals(self):
+        """The canonical aggregate view of ``cache_stats`` (which is
+        exactly a ``CacheStats.to_dict()``), so hit/miss accounting has
+        one definition."""
+        from repro.perf.cache import CacheStats
+
+        return CacheStats(**self.cache_stats)
+
+    @property
+    def cache_hits(self) -> int:
+        return self._cache_totals().hits
+
+    @property
+    def cache_misses(self) -> int:
+        return self._cache_totals().misses
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Overall cache hit fraction in [0, 1] (0.0 when uncached)."""
+        return self._cache_totals().hit_rate
+
 
 class Campaign:
     """Reusable campaign driver."""
@@ -139,9 +167,19 @@ class Campaign:
         should_stop: Callable[[], bool] | None = None,
         on_progress: Callable[[CampaignStats], None] | None = None,
         policy=None,
+        cache=None,
     ) -> None:
         self.oracle = oracle
         self.adapter = adapter
+        #: Worker-local evaluation cache (:class:`repro.perf.EvalCache`)
+        #: attached to the adapter for the campaign's lifetime; None runs
+        #: the historical uncached path.  Campaign results are
+        #: bit-identical either way (asserted by tests/perf and the
+        #: perf-smoke CI gate); only wall-clock and the cache_stats
+        #: counters differ.
+        self.cache = cache
+        if cache is not None:
+            adapter.attach_eval_cache(cache)
         self.rng = random.Random(seed)
         self.tests_per_state = tests_per_state
         self.state_gen = state_gen or StateGenerator(
@@ -277,6 +315,8 @@ class Campaign:
         engine = getattr(self.adapter, "engine", None)
         if engine is not None:
             self.stats.branch_coverage = engine.coverage.branch_coverage()
+        if self.cache is not None:
+            self.stats.cache_stats = self.cache.stats.to_dict()
         return self.stats
 
 
@@ -289,13 +329,25 @@ def run_campaign(
     seed: int = 0,
     tests_per_state: int = 25,
     max_reports: int = 1000,
+    use_cache: bool = False,
 ) -> CampaignStats:
-    """Convenience wrapper around :class:`Campaign`."""
+    """Convenience wrapper around :class:`Campaign`.
+
+    *use_cache* attaches a fresh worker-local
+    :class:`repro.perf.EvalCache`; results are bit-identical either
+    way, only throughput and ``stats.cache_stats`` differ.
+    """
+    cache = None
+    if use_cache:
+        from repro.perf import EvalCache
+
+        cache = EvalCache()
     campaign = Campaign(
         oracle,
         adapter,
         seed=seed,
         tests_per_state=tests_per_state,
         max_reports=max_reports,
+        cache=cache,
     )
     return campaign.run(n_tests=n_tests, seconds=seconds)

@@ -105,14 +105,30 @@ def infer_dialect(cluster: Cluster) -> str:
 
 
 def replay_representative(
-    cluster: Cluster, dialect: "str | None" = None
+    cluster: Cluster,
+    dialect: "str | None" = None,
+    cache=None,
+    use_cache: bool = True,
 ) -> ReplayVerdict:
     """Replay *cluster*'s best witness on a freshly built engine (pair).
 
     Tries the reduced statement list first, then falls back to the full
     recorded program (a too-aggressive past reduction must not condemn
     a live bug as stale).
+
+    *cache* (a :class:`repro.perf.EvalCache`, created here when not
+    supplied and *use_cache* holds) is attached to every freshly built
+    engine, so the state-building DDL prefix the reduced and full
+    witnesses share is parsed once instead of once per verification --
+    and once per *corpus* when :func:`replay_clusters` shares one cache
+    across clusters.  Verdicts are identical with or without the
+    cache; ``use_cache=False`` forces the uncached reference path (the
+    CLI's ``--no-cache``).
     """
+    if cache is None and use_cache:
+        from repro.perf import EvalCache
+
+        cache = EvalCache()
     rep = cluster.representative
     target = set(cluster.faults)
     pair: "tuple[str, str] | None" = None
@@ -142,7 +158,7 @@ def replay_representative(
     last_detail = "witness ran clean"
     for witness, statements in candidates:
         reproduced, detail = _replay_once(
-            statements, cluster.kind, target, pair, dialect
+            statements, cluster.kind, target, pair, dialect, cache
         )
         if reproduced:
             return ReplayVerdict(REPRODUCES, detail, witness=witness)
@@ -151,11 +167,20 @@ def replay_representative(
 
 
 def replay_clusters(
-    clusters: Iterable[Cluster], dialect: "str | None" = None
+    clusters: Iterable[Cluster],
+    dialect: "str | None" = None,
+    use_cache: bool = True,
 ) -> dict[str, ReplayVerdict]:
     """Verdict per :attr:`Cluster.cluster_id` for every cluster."""
+    cache = None
+    if use_cache:
+        from repro.perf import EvalCache
+
+        cache = EvalCache()
     return {
-        c.cluster_id: replay_representative(c, dialect=dialect)
+        c.cluster_id: replay_representative(
+            c, dialect=dialect, cache=cache, use_cache=use_cache
+        )
         for c in clusters
     }
 
@@ -166,6 +191,7 @@ def _replay_once(
     target: set,
     pair: "tuple[str, str] | None",
     dialect: str,
+    cache=None,
 ) -> tuple[bool, str]:
     """Run *statements* on a fresh engine; does the bug fire again?"""
     buggy = bool(target)
@@ -175,6 +201,15 @@ def _replay_once(
         adapter = MiniDBAdapter(
             make_engine(dialect, with_catalog_faults=buggy)
         )
+    if cache is not None:
+        # The namespace pins the full engine configuration: one shared
+        # cache must never replay a result recorded under a different
+        # fault catalog, dialect, or backend pair.
+        namespace = (
+            f"replay/{'|'.join(pair) if pair else 'minidb'}"
+            f"/{dialect}/buggy={buggy}"
+        )
+        adapter.attach_eval_cache(cache, namespace)
 
     expected_exc = _EXCEPTIONAL_KINDS.get(kind)
     fired: set = set()

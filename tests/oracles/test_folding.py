@@ -175,7 +175,7 @@ class TestFoldDispatch:
         skeleton = FromSkeleton(A.NamedTable("t", None), [], ["t"], [])
         executed = []
 
-        def execute(sql):
+        def execute(sql, ast=None):
             executed.append(sql)
             return rows
 
@@ -228,7 +228,7 @@ class TestFoldDispatch:
             gen,
             skeleton,
             phi_in_join_on=False,
-            execute=lambda sql: [(1, True), (-1, False)],
+            execute=lambda sql, ast=None: [(1, True), (-1, False)],
         )
         assert isinstance(fold.replacement, A.Case)
         assert len(fold.replacement.whens) == 2

@@ -1,0 +1,171 @@
+"""Bit-identity of cached campaigns (the repro.perf contract).
+
+The evaluation cache must be observationally invisible: for any seed,
+any oracle, and any interleaving of cached and uncached execution, a
+campaign produces the identical ``CampaignStats.signature()`` and the
+identical ``TestReport`` sequence.  These tests pin that contract at
+the Python level; the perf-smoke CI job re-gates it end to end
+(multi-worker fleets, real sqlite3 reference) on every push.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import CoddTestOracle, MiniDBAdapter, make_engine
+from repro.baselines import DQEOracle, EETOracle, NoRECOracle, TLPOracle
+from repro.fleet import FleetConfig, run_fleet
+from repro.minidb.parser import parse_statement
+from repro.perf import EvalCache, parser_normal
+from repro.runner.campaign import Campaign
+
+
+def _run(oracle_factory, seed, cache=None, buggy=True, tests=120):
+    oracle = oracle_factory()
+    adapter = MiniDBAdapter(make_engine("sqlite", with_catalog_faults=buggy))
+    campaign = Campaign(oracle, adapter, seed=seed, cache=cache)
+    return campaign.run(n_tests=tests)
+
+
+ORACLES = {
+    "coddtest": lambda: CoddTestOracle(max_depth=4),
+    "coddtest-subq": lambda: CoddTestOracle(max_depth=3, subquery_only=True),
+    "norec": NoRECOracle,
+    "tlp": TLPOracle,
+    "dqe": DQEOracle,
+    "eet": EETOracle,
+}
+
+
+@pytest.mark.parametrize("name", sorted(ORACLES))
+def test_cache_on_matches_cache_off(name):
+    off = _run(ORACLES[name], seed=5)
+    on = _run(ORACLES[name], seed=5, cache=EvalCache())
+    assert on.signature() == off.signature()
+    assert [r.to_dict() for r in on.reports] == [
+        r.to_dict() for r in off.reports
+    ]
+
+
+def test_differential_fleet_cache_on_matches_cache_off():
+    def config(use_cache):
+        return FleetConfig(
+            oracle="differential",
+            backend_pair=("minidb", "sqlite3"),
+            buggy=True,
+            workers=1,
+            seed=3,
+            n_tests=80,
+            use_cache=use_cache,
+        )
+
+    on = run_fleet(config(True)).merged
+    off = run_fleet(config(False)).merged
+    assert on.signature() == off.signature()
+
+
+def test_guided_fleet_cache_on_matches_cache_off():
+    def config(use_cache):
+        return FleetConfig(
+            oracle="coddtest",
+            buggy=True,
+            workers=1,
+            seed=7,
+            n_tests=130,
+            guidance="plan-coverage",
+            use_cache=use_cache,
+        )
+
+    on = run_fleet(config(True))
+    off = run_fleet(config(False))
+    assert on.merged.signature() == off.merged.signature()
+    assert on.arm_schedules == off.arm_schedules
+
+
+# ---------------------------------------------------------------------------
+# Interleaving property: toggling the cache mid-campaign changes nothing
+# ---------------------------------------------------------------------------
+
+
+def _run_toggled(seed: int, schedule: "list[bool]", tests: int = 100):
+    oracle = CoddTestOracle(max_depth=4)
+    adapter = MiniDBAdapter(make_engine("sqlite", with_catalog_faults=True))
+    cache = EvalCache()
+    step = {"i": 0}
+
+    def set_cached(enabled: bool) -> None:
+        if enabled:
+            adapter.attach_eval_cache(cache)
+        else:
+            adapter._cache = None
+            adapter.engine.eval_stats = None
+
+    def toggle(_stats) -> None:
+        step["i"] += 1
+        set_cached(schedule[step["i"] % len(schedule)])
+
+    campaign = Campaign(
+        oracle, adapter, seed=seed, tests_per_state=10, on_progress=toggle
+    )
+    set_cached(schedule[0])
+    return campaign.run(n_tests=tests)
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    schedule=st.lists(st.booleans(), min_size=1, max_size=5),
+    seed=st.integers(min_value=0, max_value=3),
+)
+def test_any_interleaving_yields_identical_report_sequences(schedule, seed):
+    baseline = _run_toggled(seed, [False])  # never cached
+    toggled = _run_toggled(seed, schedule)
+    assert toggled.signature() == baseline.signature()
+    assert [r.to_dict() for r in toggled.reports] == [
+        r.to_dict() for r in baseline.reports
+    ]
+
+
+# ---------------------------------------------------------------------------
+# The priming property: parser_normal == parse . to_sql
+# ---------------------------------------------------------------------------
+
+
+class _PrimeCheckingAdapter(MiniDBAdapter):
+    """Asserts, for every AST an oracle renders, that its parser-normal
+    form is exactly what parsing the rendered SQL yields -- the property
+    that makes priming the parse memo behaviour-preserving."""
+
+    checked = 0
+
+    def prime_parse(self, sql: str, ast) -> None:
+        normal = parser_normal(ast)
+        parsed = parse_statement(sql)
+        assert normal == parsed, sql
+        type(self).checked += 1
+        super().prime_parse(sql, ast)
+
+
+@pytest.mark.parametrize(
+    "oracle_factory",
+    [
+        lambda: CoddTestOracle(max_depth=5),
+        lambda: CoddTestOracle(max_depth=5, expression_only=True),
+        lambda: CoddTestOracle(max_depth=3, subquery_only=True),
+        NoRECOracle,
+        TLPOracle,
+        EETOracle,
+    ],
+    ids=["coddtest", "coddtest-expr", "coddtest-subq", "norec", "tlp", "eet"],
+)
+def test_parser_normal_matches_parse_roundtrip_on_oracle_streams(
+    oracle_factory,
+):
+    _PrimeCheckingAdapter.checked = 0
+    adapter = _PrimeCheckingAdapter(
+        make_engine("sqlite", with_catalog_faults=True)
+    )
+    adapter.attach_eval_cache(EvalCache())
+    campaign = Campaign(oracle_factory(), adapter, seed=2)
+    campaign.run(n_tests=120)
+    assert _PrimeCheckingAdapter.checked > 100

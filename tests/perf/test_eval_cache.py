@@ -1,0 +1,371 @@
+"""Unit tests for the worker-local evaluation cache (repro.perf).
+
+Covers the three memo domains (parse, statement, expression), the
+state-version / state-token invalidation on DML and DDL, side-effect
+replay (fired faults, coverage tags, recorded errors), LRU bounds, and
+cross-adapter sharing rules.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adapters.minidb_adapter import MiniDBAdapter
+from repro.adapters.sqlite3_adapter import Sqlite3Adapter
+from repro.errors import CatalogError, InternalError
+from repro.minidb.engine import Engine
+from repro.minidb.faults import BugStatus, BugType, Fault, always
+from repro.minidb.parser import parse_statement
+from repro.perf import EvalCache, parser_normal
+from repro.perf.cache import INITIAL_STATE_TOKEN, advance_state_token
+from repro.runner.campaign import CampaignStats
+
+
+def _invert_fault(site: str = "where_result") -> Fault:
+    return Fault(
+        fault_id=f"test.invert.{site}",
+        profile="sqlite",
+        bug_type=BugType.LOGIC,
+        status=BugStatus.FIXED,
+        description="test fault: invert a predicate verdict",
+        sites=frozenset({site}),
+        trigger=always,
+        effect="invert",
+    )
+
+
+def _error_fault() -> Fault:
+    return Fault(
+        fault_id="test.internal",
+        profile="sqlite",
+        bug_type=BugType.INTERNAL_ERROR,
+        status=BugStatus.FIXED,
+        description="test fault: raise an internal error",
+        sites=frozenset({"where_result"}),
+        trigger=always,
+    )
+
+
+def _cached_adapter(faults=None) -> tuple[MiniDBAdapter, EvalCache]:
+    adapter = MiniDBAdapter(Engine(faults=faults))
+    cache = EvalCache()
+    adapter.attach_eval_cache(cache)
+    return adapter, cache
+
+
+def _seed_table(adapter) -> None:
+    adapter.execute("CREATE TABLE t (a INT, b INT)")
+    adapter.execute("INSERT INTO t VALUES (1, 10), (2, 20), (3, 30)")
+
+
+# ---------------------------------------------------------------------------
+# State versioning and invalidation
+# ---------------------------------------------------------------------------
+
+
+def test_engine_state_version_bumps_on_dml_and_ddl():
+    engine = Engine()
+    assert engine.state_version == 0
+    engine.execute("CREATE TABLE t (a INT)")
+    assert engine.state_version == 1
+    engine.execute("INSERT INTO t VALUES (1)")
+    assert engine.state_version == 2
+    engine.execute("SELECT * FROM t")
+    assert engine.state_version == 2  # reads never bump
+    engine.execute("UPDATE t SET a = 2")
+    assert engine.state_version == 3
+    engine.execute("DELETE FROM t WHERE a = 2")
+    assert engine.state_version == 4
+    engine.execute("CREATE INDEX ix ON t (a)")
+    assert engine.state_version == 5
+    engine.execute("CREATE VIEW v AS SELECT a FROM t")
+    assert engine.state_version == 6
+    engine.execute("DROP VIEW v")
+    assert engine.state_version == 7
+
+
+def test_failed_write_still_bumps_state_version():
+    engine = Engine()
+    engine.execute("CREATE TABLE t (a INT)")
+    before = engine.state_version
+    with pytest.raises(CatalogError):
+        engine.execute("INSERT INTO missing VALUES (1)")
+    assert engine.state_version == before + 1  # conservative bump
+
+
+def test_statement_cache_hit_and_dml_invalidation():
+    adapter, cache = _cached_adapter()
+    _seed_table(adapter)
+    first = adapter.execute("SELECT a FROM t WHERE b >= 20").rows
+    again = adapter.execute("SELECT a FROM t WHERE b >= 20").rows
+    assert cache.stats.stmt_hits == 1
+    assert again == first
+    # A write moves the state token: the same text re-executes fresh.
+    adapter.execute("INSERT INTO t VALUES (4, 40)")
+    updated = adapter.execute("SELECT a FROM t WHERE b >= 20").rows
+    assert cache.stats.stmt_hits == 1  # no false hit
+    assert len(updated) == len(first) + 1
+
+
+def test_state_token_chain_is_content_sensitive():
+    token = advance_state_token(INITIAL_STATE_TOKEN, "CREATE TABLE t (a INT)")
+    same = advance_state_token(INITIAL_STATE_TOKEN, "CREATE TABLE t (a INT)")
+    other = advance_state_token(INITIAL_STATE_TOKEN, "CREATE TABLE t (b INT)")
+    assert token == same
+    assert token != other
+    assert token != INITIAL_STATE_TOKEN
+
+
+def test_divergent_histories_never_share_results():
+    """Two adapters on one cache whose write histories differ by
+    content (not length) must not alias each other's SELECTs."""
+    cache = EvalCache()
+    rows = {}
+    for value in (1, 2):
+        adapter = MiniDBAdapter(Engine())
+        adapter.attach_eval_cache(cache, "shared")
+        adapter.execute("CREATE TABLE t (a INT)")
+        adapter.execute(f"INSERT INTO t VALUES ({value})")
+        rows[value] = adapter.execute("SELECT a FROM t").rows
+    assert rows[1] == [(1,)]
+    assert rows[2] == [(2,)]
+
+
+def test_identical_histories_share_results_across_adapters():
+    """The ddmin/replay pattern: fresh engines replaying the same
+    program prefix reuse each other's statement results."""
+    cache = EvalCache()
+    for _ in range(2):
+        adapter = MiniDBAdapter(Engine())
+        adapter.attach_eval_cache(cache, "shared")
+        _seed_table(adapter)
+        assert adapter.execute("SELECT COUNT(*) FROM t").rows == [(3,)]
+    assert cache.stats.stmt_hits == 1
+
+
+def test_attach_to_used_adapter_gets_unique_token():
+    cache = EvalCache()
+    used = MiniDBAdapter(Engine())
+    used.execute("CREATE TABLE t (a INT)")
+    used.attach_eval_cache(cache, "shared")
+    assert used._state_token != INITIAL_STATE_TOKEN
+    fresh = MiniDBAdapter(Engine())
+    fresh.attach_eval_cache(cache, "shared")
+    assert fresh._state_token == INITIAL_STATE_TOKEN
+
+
+def test_namespaces_partition_the_statement_cache():
+    cache = EvalCache()
+    plain = MiniDBAdapter(Engine())
+    plain.attach_eval_cache(cache, "plain")
+    buggy = MiniDBAdapter(Engine(faults=[_invert_fault()]))
+    buggy.attach_eval_cache(cache, "buggy")
+    for adapter in (plain, buggy):
+        _seed_table(adapter)
+    sql = "SELECT a FROM t WHERE a = 2"
+    assert plain.execute(sql).rows == [(2,)]
+    # The inverting fault flips the WHERE verdict; a namespace-less
+    # cache would have replayed the plain adapter's rows here.
+    assert buggy.execute(sql).rows == [(1,), (3,)]
+
+
+# ---------------------------------------------------------------------------
+# Side-effect replay
+# ---------------------------------------------------------------------------
+
+
+def test_cache_hit_replays_fired_faults():
+    adapter, cache = _cached_adapter(faults=[_invert_fault()])
+    _seed_table(adapter)
+    sql = "SELECT a FROM t WHERE a = 1"
+    first = adapter.execute(sql)
+    fired_first = adapter.fired_fault_ids()
+    assert fired_first  # the fault fired on the miss
+    again = adapter.execute(sql)
+    assert cache.stats.stmt_hits == 1
+    assert again.rows == first.rows
+    assert adapter.fired_fault_ids() == fired_first
+
+
+def test_cache_hit_replays_recorded_sql_errors():
+    adapter, cache = _cached_adapter()
+    _seed_table(adapter)
+    sql = "SELECT missing FROM t"
+    with pytest.raises(CatalogError) as first:
+        adapter.execute(sql)
+    with pytest.raises(CatalogError) as second:
+        adapter.execute(sql)
+    assert cache.stats.stmt_hits == 1
+    assert str(second.value) == str(first.value)
+
+
+def test_cache_hit_replays_internal_errors_with_attribution():
+    adapter, cache = _cached_adapter(faults=[_error_fault()])
+    _seed_table(adapter)
+    sql = "SELECT a FROM t WHERE a = 1"
+    with pytest.raises(InternalError) as first:
+        adapter.execute(sql)
+    fired = adapter.fired_fault_ids()
+    assert "test.internal" in fired
+    with pytest.raises(InternalError) as second:
+        adapter.execute(sql)
+    assert cache.stats.stmt_hits == 1
+    assert str(second.value) == str(first.value)
+    assert adapter.fired_fault_ids() == fired
+
+
+def test_cache_hit_replays_coverage_tags():
+    adapter, cache = _cached_adapter()
+    _seed_table(adapter)
+    sql = "SELECT a FROM t WHERE a BETWEEN 1 AND 2"
+    adapter.execute(sql)
+    hits_before = adapter.engine.coverage.hits
+    adapter.engine.coverage.reset()
+    adapter.execute(sql)  # replayed from cache onto a reset tracker
+    assert cache.stats.stmt_hits == 1
+    replayed = adapter.engine.coverage.hits
+    assert "eval.between" in replayed
+    assert replayed <= hits_before
+
+
+def test_cross_engine_hit_replays_full_coverage_tag_set():
+    """A cached entry records the statement's FULL tag set, not the
+    delta against the recording engine's cumulative hits: a fresh
+    engine replaying the same write history (the ddmin/triage sharing
+    pattern) must end up with exactly the coverage an uncached engine
+    running the identical program would have."""
+    program = [
+        "CREATE TABLE t (a INT)",
+        "INSERT INTO t VALUES (1), (2), (3)",
+        "SELECT a FROM t WHERE a > 1",              # warms recorder coverage
+        "SELECT a FROM t WHERE a > 1 ORDER BY a",   # the shared entry
+    ]
+    cache = EvalCache()
+    recorder = MiniDBAdapter(Engine())
+    recorder.attach_eval_cache(cache, "shared")
+    for sql in program:
+        recorder.execute(sql)
+
+    # Fresh cached engine replays only the writes + the last SELECT:
+    # the SELECT is a cross-engine cache hit.
+    replayer = MiniDBAdapter(Engine())
+    replayer.attach_eval_cache(cache, "shared")
+    for sql in program[:2] + program[3:]:
+        replayer.execute(sql)
+    assert cache.stats.stmt_hits == 1
+
+    uncached = MiniDBAdapter(Engine())
+    for sql in program[:2] + program[3:]:
+        uncached.execute(sql)
+    assert replayer.engine.coverage.hits == uncached.engine.coverage.hits
+
+
+def test_recording_does_not_disturb_cumulative_coverage():
+    adapter, _cache = _cached_adapter()
+    uncached = MiniDBAdapter(Engine())
+    for sql in (
+        "CREATE TABLE t (a INT)",
+        "INSERT INTO t VALUES (1), (2)",
+        "SELECT a FROM t WHERE a BETWEEN 1 AND 2",
+        "SELECT missing FROM t",  # error path also uses capture scopes
+        "SELECT COUNT(*) FROM t",
+    ):
+        for a in (adapter, uncached):
+            try:
+                a.execute(sql)
+            except CatalogError:
+                pass
+    assert adapter.engine.coverage.hits == uncached.engine.coverage.hits
+
+
+def test_statements_executed_counts_cache_hits():
+    adapter, cache = _cached_adapter()
+    _seed_table(adapter)
+    before = adapter.engine.statements_executed
+    adapter.execute("SELECT * FROM t")
+    adapter.execute("SELECT * FROM t")
+    assert cache.stats.stmt_hits == 1
+    assert adapter.engine.statements_executed == before + 2
+
+
+# ---------------------------------------------------------------------------
+# Parse memo and priming
+# ---------------------------------------------------------------------------
+
+
+def test_parse_memo_counts_and_returns_same_ast():
+    cache = EvalCache()
+    sql = "SELECT 1 + 2"
+    first = cache.parse(sql)
+    second = cache.parse(sql)
+    assert first is second
+    assert cache.stats.parse_misses == 1
+    assert cache.stats.parse_hits == 1
+
+
+def test_prime_parse_skips_the_parser():
+    cache = EvalCache()
+    sql = "SELECT (1 + 2) AS phi"
+    ast = parser_normal(parse_statement(sql))
+    cache.prime_parse(sql, ast)
+    assert cache.parse(sql) is ast
+    assert cache.stats.parse_misses == 0
+    assert cache.stats.parse_hits == 1
+
+
+def test_prime_parse_never_overwrites():
+    cache = EvalCache()
+    sql = "SELECT 1"
+    parsed = cache.parse(sql)
+    cache.prime_parse(sql, parse_statement(sql))
+    assert cache.parse(sql) is parsed
+
+
+def test_lru_bounds_are_enforced():
+    cache = EvalCache(max_statements=2, max_parses=2)
+    for i in range(5):
+        cache.parse(f"SELECT {i}")
+    assert len(cache._parse) == 2
+    from repro.perf.cache import CachedStatement
+
+    for i in range(5):
+        cache.store_statement(("ns", "tok", f"SELECT {i}"), CachedStatement())
+    assert len(cache._stmt) == 2
+
+
+# ---------------------------------------------------------------------------
+# sqlite3 adapter
+# ---------------------------------------------------------------------------
+
+
+def test_sqlite3_adapter_caches_and_invalidates():
+    adapter = Sqlite3Adapter()
+    cache = EvalCache()
+    adapter.attach_eval_cache(cache)
+    adapter.execute("CREATE TABLE t (a INT)")
+    adapter.execute("INSERT INTO t VALUES (1), (2)")
+    first = adapter.execute("SELECT a FROM t ORDER BY a").rows
+    again = adapter.execute("SELECT a FROM t ORDER BY a").rows
+    assert cache.stats.stmt_hits == 1
+    assert again == first == [(1,), (2,)]
+    adapter.execute("INSERT INTO t VALUES (3)")
+    updated = adapter.execute("SELECT a FROM t ORDER BY a").rows
+    assert updated == [(1,), (2,), (3,)]
+    assert cache.stats.stmt_hits == 1
+
+
+# ---------------------------------------------------------------------------
+# Campaign stats plumbing
+# ---------------------------------------------------------------------------
+
+
+def test_campaign_stats_merge_sums_cache_counters_and_signature_excludes_them():
+    a = CampaignStats(oracle="coddtest", cache_stats={"parse_hits": 3, "eval_misses": 1})
+    b = CampaignStats(oracle="coddtest", cache_stats={"parse_hits": 4, "stmt_hits": 2})
+    merged = CampaignStats.merge([a, b])
+    assert merged.cache_stats == {"parse_hits": 7, "eval_misses": 1, "stmt_hits": 2}
+    assert merged.cache_hits == 9
+    assert merged.cache_misses == 1
+    assert "cache_stats" not in merged.signature()
+    bare = CampaignStats.merge([CampaignStats(oracle="coddtest")])
+    assert merged.signature() == bare.signature()

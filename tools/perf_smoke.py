@@ -1,0 +1,143 @@
+"""perf-smoke: the blocking CI gate for the evaluation-cache contract.
+
+Two duties:
+
+1. **Correctness gate** -- run fixed-seed campaigns over every cached
+   code path (single-engine hunt with injected faults, cross-backend
+   differential, plan-coverage-guided fleet) twice, cache-on and
+   cache-off, and fail (exit 1) unless each pair produced identical
+   deterministic campaign signatures, corpus fingerprints, and guided
+   arm schedules.  This is the bit-identity promise of
+   :mod:`repro.perf`, checked end to end on every push.
+2. **Bench artifact** -- sweep the fig2 workload over MaxDepth 3/5/7
+   cache-off vs cache-on and write ``BENCH_perf.json``
+   (:mod:`repro.perf.bench` schema) with tests/sec, speedup, and hit
+   rates, which CI uploads so the perf trajectory is machine-readable
+   per commit.
+
+Only the signature checks gate: speedups are recorded, not asserted,
+because shared CI hardware is noisy (benchmarks/test_cache_speedup.py
+asserts the speedup shape on quieter boxes).
+
+Usage::
+
+    PYTHONPATH=src python tools/perf_smoke.py [--tests N] [--out BENCH_perf.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.fleet import BugCorpus, FleetConfig, run_fleet
+from repro.perf.bench import bench_payload, measure_depth
+
+DEPTHS = (3, 5, 7)
+
+
+def _fleet_signature(config: FleetConfig) -> dict:
+    """Deterministic witness of one fleet run: merged campaign
+    signature, sorted corpus fingerprints, and (guided) arm schedules."""
+    corpus = BugCorpus()
+    result = run_fleet(config, corpus=corpus)
+    return {
+        "merged": result.merged.signature(),
+        "corpus": sorted(corpus.entries),
+        "arms": result.arm_schedules,
+    }
+
+
+def _gate(name: str, make_config) -> dict:
+    on = _fleet_signature(make_config(True))
+    off = _fleet_signature(make_config(False))
+    identical = on == off
+    status = "identical" if identical else "MISMATCH"
+    print(f"[perf-smoke] {name:20s} cache-on vs cache-off: {status}")
+    if not identical:
+        for key in on:
+            if on[key] != off[key]:
+                print(f"  differs in {key!r}:")
+                print(f"    on : {str(on[key])[:300]}")
+                print(f"    off: {str(off[key])[:300]}")
+    return {"name": name, "identical": identical}
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tests", type=int, default=400, help="budget per workload gate")
+    parser.add_argument("--bench-tests", type=int, default=400, dest="bench_tests")
+    parser.add_argument("--seed", type=int, default=17)
+    parser.add_argument("--out", default="BENCH_perf.json", metavar="PATH")
+    args = parser.parse_args(argv)
+
+    workloads = [
+        _gate(
+            "hunt (buggy)",
+            lambda cache: FleetConfig(
+                oracle="coddtest",
+                buggy=True,
+                workers=2,
+                seed=args.seed,
+                n_tests=args.tests,
+                use_cache=cache,
+            ),
+        ),
+        _gate(
+            "diff minidb/sqlite3",
+            lambda cache: FleetConfig(
+                oracle="differential",
+                backend_pair=("minidb", "sqlite3"),
+                buggy=True,
+                workers=2,
+                seed=args.seed,
+                n_tests=max(100, args.tests // 2),
+                use_cache=cache,
+            ),
+        ),
+        _gate(
+            "guided fleet",
+            lambda cache: FleetConfig(
+                oracle="coddtest",
+                buggy=True,
+                workers=2,
+                seed=args.seed,
+                n_tests=args.tests,
+                guidance="plan-coverage",
+                use_cache=cache,
+            ),
+        ),
+    ]
+
+    sweep = []
+    for depth in DEPTHS:
+        record = measure_depth(depth, tests=args.bench_tests, seed=args.seed)
+        sweep.append(record)
+        print(
+            f"[perf-smoke] fig2 MaxDepth {depth}: "
+            f"{record['tests_per_second_cache_off']:.0f} -> "
+            f"{record['tests_per_second_cache_on']:.0f} tests/s "
+            f"(speedup {record['speedup']:.2f}x, "
+            f"hit rate {100 * record['cache_hit_rate']:.1f}%, "
+            f"signatures {'identical' if record['signatures_identical'] else 'MISMATCH'})"
+        )
+
+    payload = bench_payload(sweep, workloads)
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"[perf-smoke] wrote {args.out}")
+
+    if not payload["all_signatures_identical"]:
+        print(
+            "[perf-smoke] FAIL: cache-on campaign is not bit-identical "
+            "to cache-off",
+            file=sys.stderr,
+        )
+        return 1
+    print("[perf-smoke] OK: every cached path is bit-identical to uncached")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
