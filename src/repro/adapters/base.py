@@ -70,6 +70,10 @@ class EngineAdapter(abc.ABC):
     #: coincide across engines (set by differential pair adapters, which
     #: compare results between two backends).
     portable_generation: bool = False
+    #: Attached :class:`repro.obs.PhaseProfiler` (None = unprofiled).
+    #: Wall-clock only: profiled and unprofiled executions are
+    #: observationally identical.
+    _profiler = None
 
     @abc.abstractmethod
     def execute(self, sql: str) -> ExecResult:
@@ -96,6 +100,13 @@ class EngineAdapter(abc.ABC):
         cache serves several adapters (e.g. a differential pair whose
         two backends may share a display name but not behaviour).
         """
+
+    def attach_profiler(self, profiler) -> None:
+        """Attach a :class:`repro.obs.PhaseProfiler` that scopes the
+        ``parse`` and ``execute`` hot-path phases.  Purely observational
+        -- results, errors, and side effects are identical with and
+        without it; only the obs layer sees the timings."""
+        self._profiler = profiler
 
     def prime_parse(self, sql: str, ast) -> None:
         """Offer the parser-normal AST of *sql* to the parse memo.

@@ -21,6 +21,7 @@ from repro.adapters.base import (
 from repro.errors import EngineCrash, EngineHang, InternalError, SqlError
 from repro.minidb import ast_nodes as A
 from repro.minidb.engine import Engine
+from repro.minidb.parser import parse_statement
 from repro.minidb.values import TypingMode
 
 
@@ -75,14 +76,43 @@ class MiniDBAdapter(EngineAdapter):
 
     def execute(self, sql: str) -> ExecResult:
         cache = self._cache
+        prof = self._profiler
         if cache is None:
-            return self._to_exec_result(self.engine.execute(sql))
-        return self._execute_cached(sql, cache)
+            if prof is None:
+                return self._to_exec_result(self.engine.execute(sql))
+            # Split the engine's parse-then-execute so the profiler sees
+            # the two phases separately (the perf layer showed parsing
+            # dominating the uncached hot path).
+            t0 = prof.begin()
+            try:
+                stmt = parse_statement(sql)
+            finally:
+                prof.end("parse", t0)
+            t0 = prof.begin()
+            try:
+                return self._to_exec_result(self.engine.execute_ast(stmt))
+            finally:
+                prof.end("execute", t0)
+        if prof is None:
+            return self._execute_cached(sql, cache)
+        # Cached path: the memo lookup *is* the parse phase (hits make
+        # it shrink), everything downstream counts as execution.
+        t0 = prof.begin()
+        try:
+            stmt = cache.parse(sql)
+        finally:
+            prof.end("parse", t0)
+        t0 = prof.begin()
+        try:
+            return self._execute_cached(sql, cache, stmt=stmt)
+        finally:
+            prof.end("execute", t0)
 
-    def _execute_cached(self, sql: str, cache) -> ExecResult:
+    def _execute_cached(self, sql: str, cache, stmt=None) -> ExecResult:
         from repro.perf.cache import CachedStatement, advance_state_token
 
-        stmt = cache.parse(sql)  # parse errors propagate uncached
+        if stmt is None:
+            stmt = cache.parse(sql)  # parse errors propagate uncached
         engine = self.engine
         if not isinstance(stmt, A.Select):
             # State-changing statement: extend the hash chain before

@@ -54,6 +54,18 @@ class Sqlite3Adapter(EngineAdapter):
         )
 
     def execute(self, sql: str) -> ExecResult:
+        prof = self._profiler
+        if prof is None:
+            return self._execute_maybe_cached(sql)
+        # SQLite parses internally, so the whole round trip counts as
+        # the execute phase.
+        t0 = prof.begin()
+        try:
+            return self._execute_maybe_cached(sql)
+        finally:
+            prof.end("execute", t0)
+
+    def _execute_maybe_cached(self, sql: str) -> ExecResult:
         row_returning = is_row_returning(sql)
         cache = self._cache
         if cache is None:

@@ -17,7 +17,7 @@ from __future__ import annotations
 from repro.generator.expr_gen import ExprGenerator
 from repro.generator.query_gen import QueryGenerator
 from repro.minidb import ast_nodes as A
-from repro.oracles_base import Oracle, TestReport, rows_equal
+from repro.oracles_base import Oracle, TestReport
 
 
 class EETOracle(Oracle):
@@ -57,7 +57,7 @@ class EETOracle(Oracle):
         rewritten = self.query_gen.star_query(skeleton, transformed)
         base_rows = self.execute(base.to_sql(), is_main_query=True, ast=base).rows
         new_rows = self.execute(rewritten.to_sql(), ast=rewritten).rows
-        if rows_equal(base_rows, new_rows):
+        if self.compare_rows(base_rows, new_rows):
             return None
         return self.report(
             f"equivalent transformation changed the result: "

@@ -20,7 +20,7 @@ from repro.generator.expr_gen import ExprGenerator
 from repro.generator.query_gen import FromSkeleton, QueryGenerator
 from repro.minidb import ast_nodes as A
 from repro.minidb.values import SqlType
-from repro.oracles_base import Oracle, OracleSkip, TestReport, canonical, rows_equal
+from repro.oracles_base import Oracle, OracleSkip, TestReport, canonical
 
 
 class TLPOracle(Oracle):
@@ -89,7 +89,7 @@ class TLPOracle(Oracle):
                 union.extend(
                     self.execute(q.to_sql(), is_main_query=(i == 0), ast=q).rows
                 )
-        if rows_equal(expected, union):
+        if self.compare_rows(expected, union):
             return None
         return self.report(
             f"partition union has {len(union)} rows, base query has "
@@ -150,7 +150,7 @@ class TLPOracle(Oracle):
                 skeleton, having=part, group_col=group_col
             )
             union.extend(self.execute(q.to_sql(), is_main_query=(i == 0), ast=q).rows)
-        if rows_equal(expected, union):
+        if self.compare_rows(expected, union):
             return None
         return self.report(
             f"HAVING partition union has {len(union)} groups, base has "

@@ -3,11 +3,13 @@
 Subcommands::
 
     coddtest hunt     --dialect sqlite --tests 1000 [--buggy] [--oracle coddtest] [--workers N]
-    coddtest fleet    --workers 4 --tests 2000 [--corpus bugs.jsonl]
+    coddtest fleet    --workers 4 --tests 2000 [--corpus bugs.jsonl] [--trace run.jsonl] [--status-port N]
     coddtest diff     --backends minidb,sqlite3 --tests 500 [--workers N] [--corpus out.jsonl]
     coddtest compare  --tests 400 [--workers N]  # per-oracle detection counts
     coddtest sqlite3  --tests 200                # run against the real SQLite
     coddtest corpus   report|merge|replay ...    # triage JSONL bug corpora
+    coddtest top      RUN.trace.jsonl | http://HOST:PORT  # one top-style frame
+    coddtest trace    report RUN.trace.jsonl     # offline trace analysis
 
 Examples live in ``examples/``; this CLI wraps the same public API for
 quick interactive use.  ``hunt`` and ``compare`` route through the
@@ -117,9 +119,6 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="skip ddmin reduction of first-seen bugs",
     )
-    fleet.add_argument(
-        "--quiet", action="store_true", help="suppress progress lines"
-    )
 
     diff = sub.add_parser(
         "diff",
@@ -175,11 +174,9 @@ def main(argv: list[str] | None = None) -> int:
     diff.add_argument(
         "--max-reports", type=int, default=1000, dest="max_reports"
     )
-    diff.add_argument(
-        "--quiet", action="store_true", help="suppress progress lines"
-    )
     _add_guidance_args(diff)
     _add_cache_args(diff)
+    _add_obs_args(diff)
 
     compare = sub.add_parser(
         "compare",
@@ -206,6 +203,8 @@ def main(argv: list[str] | None = None) -> int:
     _add_cache_args(real)
 
     _add_corpus_parser(sub)
+    _add_top_parser(sub)
+    _add_trace_parser(sub)
 
     args = parser.parse_args(argv)
 
@@ -220,6 +219,10 @@ def main(argv: list[str] | None = None) -> int:
             return _compare(args)
         if args.command == "corpus":
             return _corpus(args)
+        if args.command == "top":
+            return _top(args)
+        if args.command == "trace":
+            return _trace(args)
         return _sqlite3(args)
     except (ValueError, OSError) as exc:
         # Bad config (e.g. --workers 0), unusable --corpus path, or a
@@ -308,6 +311,80 @@ def _add_corpus_parser(sub) -> None:
     _add_replay_cache_arg(replay)
 
 
+def _add_top_parser(sub) -> None:
+    top = sub.add_parser(
+        "top",
+        help="render a top-style status frame from a trace or live URL",
+        description="Render one top-style frame of a fleet's status: "
+        "pass a trace file for a finished run, or the http://HOST:PORT "
+        "URL of a live --status-port endpoint.  Frames rendered from a "
+        "trace file are deterministic; live frames report wall-clock.",
+    )
+    top.add_argument(
+        "source",
+        metavar="TRACE.jsonl|URL",
+        help="trace file path, or http(s):// status endpoint URL",
+    )
+    top.add_argument(
+        "--follow",
+        action="store_true",
+        help="poll a live URL every --interval seconds until the run "
+        "reports state=done (ignored for trace files)",
+    )
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="--follow poll interval (default: 2.0)",
+    )
+
+
+def _add_trace_parser(sub) -> None:
+    trace = sub.add_parser(
+        "trace",
+        help="offline analysis of structured trace files",
+        description="Analyze a JSONL trace written by --trace. "
+        "Deterministic: the same trace file renders byte-identical "
+        "output (all times are offsets from the first record).",
+    )
+    tsub = trace.add_subparsers(dest="trace_command", required=True)
+    report = tsub.add_parser(
+        "report",
+        help="render run timeline and per-phase time breakdown",
+        description="Fold a trace into a run summary: shard lifecycle "
+        "timeline, guided round barriers, bug arrivals, and a "
+        "flamegraph-style per-phase table.",
+    )
+    report.add_argument("path", metavar="TRACE.jsonl")
+
+
+def _add_obs_args(sub_parser) -> None:
+    sub_parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="write a structured JSONL trace of the run (schema-"
+        "versioned events: shard lifecycle, tests, bugs, round "
+        "barriers); analyze with `coddtest trace report PATH` or "
+        "`coddtest top PATH`.  Campaign results are bit-identical "
+        "with and without tracing.",
+    )
+    sub_parser.add_argument(
+        "--status-port",
+        type=int,
+        default=None,
+        dest="status_port",
+        metavar="N",
+        help="serve a live JSON status snapshot on 127.0.0.1:N while "
+        "the fleet runs (0 picks a free port; watch it with "
+        "`coddtest top http://127.0.0.1:N`)",
+    )
+    sub_parser.add_argument(
+        "--quiet", action="store_true", help="suppress progress lines"
+    )
+
+
 def _add_replay_cache_arg(sub_parser) -> None:
     sub_parser.add_argument(
         "--cache",
@@ -348,6 +425,7 @@ def _add_campaign_args(sub_parser, default_tests: int | None) -> None:
     )
     _add_guidance_args(sub_parser)
     _add_cache_args(sub_parser)
+    _add_obs_args(sub_parser)
 
 
 def _add_guidance_args(sub_parser) -> None:
@@ -384,11 +462,16 @@ def _hunt(args) -> int:
         guidance=args.guidance,
         guidance_rounds=args.guidance_rounds,
         use_cache=args.cache,
+        trace_path=args.trace,
+        status_port=args.status_port,
     )
-    result = run_fleet(config)
+    printer = None if args.quiet else ProgressPrinter()
+    result = run_fleet(config, printer=printer)
     stats = result.merged
     _print_arm_summary(result)
     _print_cache_line(stats)
+    _print_phase_line(args, stats, result.wall_seconds)
+    _print_trace_note(args)
     print(
         f"{args.oracle} on {args.dialect}: {stats.tests} tests, "
         f"{stats.queries_ok} queries, QPT {stats.qpt:.2f}, "
@@ -424,6 +507,8 @@ def _fleet(args) -> int:
         guidance=args.guidance,
         guidance_rounds=args.guidance_rounds,
         use_cache=args.cache,
+        trace_path=args.trace,
+        status_port=args.status_port,
     )
     reduce_fn = None if args.no_reduce else make_replay_reducer(config)
     corpus, known_before = _open_corpus(args.corpus, reduce_fn)
@@ -433,6 +518,8 @@ def _fleet(args) -> int:
     result = run_fleet(config, corpus=corpus, printer=printer, coverage=coverage)
     _print_arm_summary(result)
     _print_cache_line(result.merged)
+    _print_phase_line(args, result.merged, result.wall_seconds)
+    _print_trace_note(args)
 
     print(render_fleet_table(result.shards, result.merged))
     print(
@@ -494,6 +581,57 @@ def _print_cache_line(stats) -> None:
         f"stmt {cs.get('stmt_hits', 0)}/{cs.get('stmt_hits', 0) + cs.get('stmt_misses', 0)}, "
         f"expr {cs.get('eval_hits', 0)}/{cs.get('eval_hits', 0) + cs.get('eval_misses', 0)})"
     )
+
+
+def _print_phase_line(args, stats, wall_seconds: float = 0.0) -> None:
+    """One-line per-phase wall-clock breakdown (generate / parse /
+    execute / compare, plus the unprofiled residual).  Phase timings
+    are wall-clock, so they go to stderr with the other diagnostics:
+    stdout stays a pure function of the seed (diffable across runs).
+    Suppressed by --quiet."""
+    if getattr(args, "quiet", False):
+        return
+    from repro.obs import format_phase_breakdown
+
+    line = format_phase_breakdown(stats.phase_stats, wall_seconds)
+    if line:
+        print(line, file=sys.stderr)
+
+
+def _print_trace_note(args) -> None:
+    if getattr(args, "trace", None):
+        print(f"trace written to {args.trace}")
+
+
+def _top(args) -> int:
+    """Render top-style frame(s) from a live status URL or a trace."""
+    import time as _time
+
+    from repro.obs import (
+        fetch_status,
+        read_trace,
+        render_top_frame,
+        snapshot_from_trace,
+    )
+
+    if args.source.startswith(("http://", "https://")):
+        while True:
+            snap = fetch_status(args.source)
+            sys.stdout.write(render_top_frame(snap))
+            sys.stdout.flush()
+            if not args.follow or snap.get("state") == "done":
+                return 0
+            _time.sleep(args.interval)
+    records = read_trace(args.source)
+    sys.stdout.write(render_top_frame(snapshot_from_trace(records)))
+    return 0
+
+
+def _trace(args) -> int:
+    from repro.obs import read_trace, render_trace_report
+
+    sys.stdout.write(render_trace_report(read_trace(args.path)))
+    return 0
 
 
 def _print_arm_summary(result) -> None:
@@ -567,6 +705,8 @@ def _diff(args) -> int:
         guidance=args.guidance,
         guidance_rounds=args.guidance_rounds,
         use_cache=args.cache,
+        trace_path=args.trace,
+        status_port=args.status_port,
     )
     corpus, known_before = _open_corpus(args.corpus)
     printer = None if args.quiet else ProgressPrinter()
@@ -576,6 +716,8 @@ def _diff(args) -> int:
     stats = result.merged
     _print_arm_summary(result)
     _print_cache_line(stats)
+    _print_phase_line(args, stats, result.wall_seconds)
+    _print_trace_note(args)
 
     print(render_fleet_table(result.shards, stats))
     print(

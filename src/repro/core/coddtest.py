@@ -33,7 +33,7 @@ from repro.generator.query_gen import (
     replace_join_on,
 )
 from repro.minidb import ast_nodes as A
-from repro.oracles_base import Oracle, OracleSkip, TestReport, rows_equal
+from repro.oracles_base import Oracle, OracleSkip, TestReport
 
 
 class CoddTestOracle(Oracle):
@@ -99,14 +99,15 @@ class CoddTestOracle(Oracle):
     def _predicate_test(self) -> TestReport | None:
         assert self.expr_gen is not None and self.query_gen is not None
         rng = self.rng
-        skeleton = self.query_gen.from_skeleton()
+        with self.profiled("generate"):
+            skeleton = self.query_gen.from_skeleton()
 
-        placements = ["where"] * 6 + ["having"] * 2
-        if skeleton.on_join is not None:
-            placements += ["join_on"] * 2
-        placement = rng.choice(placements)
+            placements = ["where"] * 6 + ["having"] * 2
+            if skeleton.on_join is not None:
+                placements += ["join_on"] * 2
+            placement = rng.choice(placements)
 
-        phi_gen = self._generate_phi(skeleton, placement)
+            phi_gen = self._generate_phi(skeleton, placement)
         phi = phi_gen.expr
 
         # Step 3: constant folding via the auxiliary query.
@@ -141,7 +142,7 @@ class CoddTestOracle(Oracle):
         folded = self._make_query(skeleton, placement, folded_pred, shape)
         f_result = self.execute(folded.to_sql(), ast=folded)
 
-        if rows_equal(o_result.rows, f_result.rows):
+        if self.compare_rows(o_result.rows, f_result.rows):
             return None
         return self.report(
             f"original and folded queries disagree: "

@@ -25,7 +25,7 @@ from repro.errors import SqlError
 from repro.generator.expr_gen import ScopeColumn
 from repro.minidb import ast_nodes as A
 from repro.minidb.values import SqlType, SqlValue, sql_literal
-from repro.oracles_base import OracleSkip, TestReport, rows_equal
+from repro.oracles_base import OracleSkip, TestReport
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.coddtest import CoddTestOracle
@@ -97,7 +97,7 @@ class RelationFolder:
         finally:
             self._cleanup()
 
-        if rows_equal(o_rows, f_rows):
+        if oracle.compare_rows(o_rows, f_rows):
             return None
         return oracle.report(
             f"relation folding mismatch ({o_kind} vs {f_kind}): "

@@ -94,6 +94,14 @@ class DifferentialAdapter(EngineAdapter):
         self.primary.attach_eval_cache(cache, f"{prefix}/primary")
         self.secondary.attach_eval_cache(cache, f"{prefix}/secondary")
 
+    def attach_profiler(self, profiler) -> None:
+        """Both backends report into the same profiler: the pair's
+        parse/execute time is the sum over the two engines (its own
+        result comparison is part of the execute phase)."""
+        self._profiler = profiler
+        self.primary.attach_profiler(profiler)
+        self.secondary.attach_profiler(profiler)
+
     def prime_parse(self, sql: str, ast) -> None:
         self.primary.prime_parse(sql, ast)
         self.secondary.prime_parse(sql, ast)

@@ -13,7 +13,9 @@ per hour ("Scaling Automated Database System Testing", Zhong & Rigger
   stats merging, and fleet-wide early stop,
 * :mod:`repro.fleet.corpus` -- a JSONL-backed deduplicated bug corpus
   with ddmin reduction of first-seen bugs and checkpoint/resume,
-* :mod:`repro.fleet.progress` -- periodic throughput/dedup reporting.
+* :mod:`repro.fleet.progress` -- periodic throughput/dedup reporting,
+* :mod:`repro.fleet.telemetry` -- the optional observability surfaces
+  (structured trace, live status endpoint) bundled per fleet run.
 """
 
 from repro.fleet.corpus import (
@@ -36,6 +38,7 @@ from repro.fleet.sharding import (
     derive_shard_seeds,
     split_tests,
 )
+from repro.fleet.telemetry import FleetTelemetry
 
 __all__ = [
     "BugCorpus",
@@ -49,6 +52,7 @@ __all__ = [
     "run_fleet",
     "ProgressPrinter",
     "ProgressSnapshot",
+    "FleetTelemetry",
     "ShardSpec",
     "derive_round_seed",
     "derive_shard_seeds",

@@ -48,12 +48,15 @@ from repro.fleet.sharding import (
     derive_shard_seeds,
     split_tests,
 )
+from repro.fleet.telemetry import FleetTelemetry
 from repro.guidance import (
     GUIDANCE_MODES,
     CoverageMap,
     GuidedPolicy,
     policy_seed,
 )
+from repro.obs.metrics import MetricsRegistry, merge_all
+from repro.obs.trace import TraceWriter
 from repro.oracles_base import Oracle, TestReport
 from repro.perf import EvalCache
 from repro.runner.campaign import Campaign, CampaignStats
@@ -105,6 +108,15 @@ class FleetConfig:
     #: cache-on campaigns are bit-identical to cache-off ones (gated by
     #: the perf-smoke CI job); ``coddtest ... --no-cache`` turns it off.
     use_cache: bool = True
+    #: Structured trace output (``--trace out.jsonl``): workers write
+    #: per-shard part files, the orchestrator merges them plus its own
+    #: events into one JSONL stream sorted by timestamp.  None traces
+    #: nothing; tracing never changes deterministic outputs.
+    trace_path: str | None = None
+    #: Live status endpoint (``--status-port N``): a stdlib HTTP server
+    #: in the orchestrator serving the latest fleet snapshot as JSON.
+    #: 0 binds an ephemeral port; None disables the server.
+    status_port: int | None = None
 
     def __post_init__(self) -> None:
         if self.oracle not in ORACLE_FACTORIES:
@@ -165,6 +177,9 @@ class FleetResult:
     #: order) -- the reproducibility witness: same seed + workers must
     #: yield identical schedules.  None when unguided.
     arm_schedules: "list[list[str]] | None" = None
+    #: CRDT-merged metrics of the run: per-shard counters/gauges/timers
+    #: plus the orchestrator's own stream (see :mod:`repro.obs.metrics`).
+    metrics: MetricsRegistry | None = None
 
     @property
     def arm_summary(self) -> "list[tuple[str, int, int]]":
@@ -172,6 +187,14 @@ class FleetResult:
         if self.coverage is None:
             return []
         return self.coverage.arm_summary()
+
+
+def _shard_trace_path(config: FleetConfig, shard_index: int) -> "str | None":
+    if config.trace_path is None:
+        return None
+    from repro.obs.trace import shard_part_path
+
+    return shard_part_path(config.trace_path, shard_index)
 
 
 def build_shards(config: FleetConfig) -> list[ShardSpec]:
@@ -196,6 +219,7 @@ def build_shards(config: FleetConfig) -> list[ShardSpec]:
             max_reports=config.max_reports,
             backend_pair=config.backend_pair,
             use_cache=config.use_cache,
+            trace_path=_shard_trace_path(config, i),
         )
         for i in range(config.workers)
     ]
@@ -273,6 +297,13 @@ def _run_shard(
     oracle = ORACLE_FACTORIES[spec.oracle](**spec.oracle_kwargs)
     policy = _build_policy(spec)
     cache = EvalCache() if spec.use_cache else None
+    tracer = (
+        TraceWriter(spec.trace_path, shard=spec.shard_index)
+        if spec.trace_path is not None
+        else None
+    )
+    if tracer is not None:
+        tracer.emit("shard_start", seed=spec.seed, round=spec.round_index)
     campaign = Campaign(
         oracle,
         _build_adapter(spec),
@@ -283,13 +314,56 @@ def _run_shard(
         on_progress=on_progress,
         policy=policy,
         cache=cache,
+        tracer=tracer,
     )
-    stats = campaign.run(n_tests=spec.n_tests, seconds=spec.seconds)
+    try:
+        stats = campaign.run(n_tests=spec.n_tests, seconds=spec.seconds)
+    finally:
+        if tracer is not None:
+            tracer.flush()
+    if tracer is not None:
+        tracer.emit(
+            "shard_finish",
+            tests=stats.tests,
+            skipped=stats.skipped,
+            reports=len(stats.reports),
+            round=spec.round_index,
+            phases=stats.phase_stats,
+            cache=stats.cache_stats,
+            unique_plans=len(stats.unique_plans),
+        )
+        tracer.close()
     payload: dict = {"stats": stats}
     if policy is not None:
         payload["policy"] = policy.to_state()
         payload["coverage"] = policy.coverage.to_dict()
+    payload["metrics"] = _shard_metrics(spec, stats).to_dict()
     return payload
+
+
+def _shard_metrics(spec: ShardSpec, stats: CampaignStats) -> MetricsRegistry:
+    """One shard-round's metrics stream.
+
+    The source name includes the round index: each guided round is a
+    fresh campaign counting from zero, so giving every round its own
+    single-writer stream lets the CRDT max-join stay idempotent while
+    cross-round totals come from summing the per-source views.
+    """
+    registry = MetricsRegistry(
+        source=f"shard{spec.shard_index}/r{spec.round_index}"
+    )
+    registry.incr("tests", stats.tests)
+    registry.incr("skipped", stats.skipped)
+    registry.incr("queries_ok", stats.queries_ok)
+    registry.incr("queries_err", stats.queries_err)
+    registry.incr("states", stats.states)
+    registry.incr("reports", len(stats.reports))
+    for name, value in stats.cache_stats.items():
+        registry.incr(f"cache/{name}", value)
+    registry.gauge("branch_coverage", stats.branch_coverage)
+    registry.observe("shard_wall", stats.wall_seconds)
+    registry.absorb_phase_totals(stats.phase_stats)
+    return registry
 
 
 def _worker_main(spec: ShardSpec, out_queue, stop_event) -> None:
@@ -321,6 +395,8 @@ def _worker_main(spec: ShardSpec, out_queue, stop_event) -> None:
                     "queries_ok": stats.queries_ok,
                     "queries_err": stats.queries_err,
                     "reports": len(stats.reports),
+                    "unique_plans": len(stats.unique_plans),
+                    "cache": dict(stats.cache_stats),
                     "new_reports": new_reports,
                 },
             )
@@ -348,10 +424,14 @@ class _CorpusSink:
     split for progress lines and the final result."""
 
     def __init__(
-        self, corpus: BugCorpus | None, config: "FleetConfig | None" = None
+        self,
+        corpus: BugCorpus | None,
+        config: "FleetConfig | None" = None,
+        telemetry: "FleetTelemetry | None" = None,
     ) -> None:
         self.corpus = corpus
         self.config = config
+        self.telemetry = telemetry
         self.new_fingerprints: list[str] = []
         self.duplicates = 0
         #: Reports already absorbed per shard (progress streaming).
@@ -373,7 +453,10 @@ class _CorpusSink:
                 dialect=dialect,
             )
             if added:
-                self.new_fingerprints.append(fingerprint_report(report))
+                fingerprint = fingerprint_report(report)
+                self.new_fingerprints.append(fingerprint)
+                if self.telemetry is not None:
+                    self.telemetry.cluster_new(fingerprint, report.kind)
             else:
                 self.duplicates += 1
 
@@ -401,6 +484,7 @@ def run_fleet(
     corpus: BugCorpus | None = None,
     printer: ProgressPrinter | None = None,
     coverage: CoverageMap | None = None,
+    telemetry: FleetTelemetry | None = None,
 ) -> FleetResult:
     """Run a sharded campaign and merge the results.
 
@@ -408,20 +492,43 @@ def run_fleet(
     invocations (first-seen entries are stamped with shard/seed/dialect
     provenance); *printer* (optional) emits periodic progress lines;
     *coverage* (optional, guided fleets) seeds the plan-coverage map --
-    pass a loaded checkpoint to resume guidance across invocations.
+    pass a loaded checkpoint to resume guidance across invocations;
+    *telemetry* (optional) bundles every observability surface --
+    progress printer, ``--trace`` stream, ``--status-port`` endpoint
+    (one is built from *config* + *printer* when omitted).
     The result is deterministic for a given ``(seed, workers, budget)``:
     shard stats merge in spec order and the corpus holds the same entry
-    set regardless of scheduling.
+    set regardless of scheduling.  Telemetry never feeds back into
+    scheduling, so every deterministic output is identical with the
+    surfaces on or off.
     """
-    if config.guidance is not None:
-        return _run_guided(config, corpus, printer, coverage)
+    if telemetry is None:
+        telemetry = FleetTelemetry(
+            printer=printer,
+            trace_path=config.trace_path,
+            status_port=config.status_port,
+        )
+    telemetry.open(config)
+    try:
+        if config.guidance is not None:
+            return _run_guided(config, corpus, telemetry, coverage)
+        return _run_unguided(config, corpus, telemetry)
+    finally:
+        telemetry.close()
+
+
+def _run_unguided(
+    config: FleetConfig,
+    corpus: BugCorpus | None,
+    telemetry: FleetTelemetry,
+) -> FleetResult:
     shards = build_shards(config)
-    sink = _CorpusSink(corpus, config)
+    sink = _CorpusSink(corpus, config, telemetry)
     start = time.monotonic()
     if config.workers == 1:
-        payloads = [_run_one_inprocess(shards[0], sink, printer, start)]
+        payloads = [_run_one_inprocess(shards[0], sink, telemetry, start)]
     else:
-        payloads = _run_pool(shards, config, sink, printer, start)
+        payloads = _run_pool(shards, config, sink, telemetry, start)
     shard_stats = [p["stats"] for p in payloads]
     wall = time.monotonic() - start
 
@@ -440,13 +547,29 @@ def run_fleet(
         corpus=corpus,
         new_fingerprints=sink.new_fingerprints,
         duplicate_reports=sink.duplicates,
+        metrics=_merged_metrics(payloads, telemetry),
     )
     _attach_clusters(result, corpus)
-    if printer is not None:
-        printer.final(
-            _snapshot(shard_stats, config, wall, sink, result.clusters)
-        )
+    telemetry.finish(
+        _snapshot(shard_stats, config, wall, sink, result.clusters),
+        merged,
+        wall,
+    )
     return result
+
+
+def _merged_metrics(
+    payloads: "list[dict]", telemetry: FleetTelemetry
+) -> MetricsRegistry:
+    """Join every shard's metrics stream with the orchestrator's own."""
+    return merge_all(
+        [
+            MetricsRegistry.from_dict(p["metrics"])
+            for p in payloads
+            if p.get("metrics")
+        ]
+        + [telemetry.metrics]
+    )
 
 
 def _attach_clusters(result: FleetResult, corpus: BugCorpus | None) -> None:
@@ -574,6 +697,7 @@ def _build_guided_shards(
             saturated_faults=tuple(sorted(saturated)),
             coverage_source=f"{config.seed}:{i}/{config.workers}{epoch}",
             use_cache=config.use_cache,
+            trace_path=_shard_trace_path(config, i),
         )
         for i in range(config.workers)
     ]
@@ -583,19 +707,22 @@ def _progress_base(per_shard: "list[list[CampaignStats]]") -> dict:
     """Earlier rounds' cumulative counters, so mid-round progress lines
     keep counting up across guided round barriers."""
     parts = [stats for rounds in per_shard for stats in rounds]
+    hits, misses = _cache_hits_misses([s.cache_stats for s in parts])
     return {
         "tests": sum(s.tests for s in parts),
         "skipped": sum(s.skipped for s in parts),
         "queries_ok": sum(s.queries_ok for s in parts),
         "queries_err": sum(s.queries_err for s in parts),
         "reports": sum(len(s.reports) for s in parts),
+        "cache_hits": hits,
+        "cache_misses": misses,
     }
 
 
 def _run_guided(
     config: FleetConfig,
     corpus: BugCorpus | None,
-    printer: ProgressPrinter | None,
+    telemetry: FleetTelemetry,
     coverage: CoverageMap | None,
 ) -> FleetResult:
     """Guided fleet: the budget is split into rounds; between rounds the
@@ -611,11 +738,13 @@ def _run_guided(
     """
     coverage = coverage if coverage is not None else CoverageMap()
     epoch = _coverage_epoch(coverage)
-    sink = _CorpusSink(corpus, config)
+    sink = _CorpusSink(corpus, config, telemetry)
     start = time.monotonic()
     rounds = _effective_rounds(config)
     policy_states: list[dict | None] = [None] * config.workers
     per_shard: list[list[CampaignStats]] = [[] for _ in range(config.workers)]
+    metric_payloads: list[dict] = []
+    known_saturated: set[str] = set()
     remaining = config.n_tests
     reports_so_far = 0
     for round_index in range(rounds):
@@ -628,6 +757,15 @@ def _run_guided(
         )
         saturated = _saturated_fault_ids(
             coverage, corpus, config.saturation_threshold
+        )
+        for fault in sorted(saturated - known_saturated):
+            telemetry.cluster_saturated(fault)
+        known_saturated |= saturated
+        telemetry.round_barrier(
+            round_index,
+            rounds,
+            saturated=len(saturated),
+            plans=len(coverage.seen_plans()),
         )
         # The fleet-wide report cap is cumulative across rounds: each
         # round only gets the remainder, so a guided fleet overshoots
@@ -649,13 +787,13 @@ def _run_guided(
         if config.workers == 1:
             payloads = [
                 _run_one_inprocess(
-                    specs[0], sink, printer, start,
+                    specs[0], sink, telemetry, start,
                     progress_base=progress_base,
                 )
             ]
         else:
             payloads = _run_pool(
-                specs, config, sink, printer, start,
+                specs, config, sink, telemetry, start,
                 max_reports=remaining_reports,
                 progress_base=progress_base,
             )
@@ -665,6 +803,7 @@ def _run_guided(
             shard_coverage = payload.get("coverage")
             if shard_coverage:
                 coverage.update(CoverageMap.from_dict(shard_coverage))
+            metric_payloads.append(payload)
         reports_so_far = sum(
             len(stats.reports) for parts in per_shard for stats in parts
         )
@@ -694,27 +833,29 @@ def _run_guided(
             list(state["schedule"]) if state else []
             for state in policy_states
         ],
+        metrics=_merged_metrics(metric_payloads, telemetry),
     )
     _attach_clusters(result, corpus)
-    if printer is not None:
-        printer.final(
-            _snapshot(shard_stats, config, wall, sink, result.clusters)
-        )
+    telemetry.finish(
+        _snapshot(shard_stats, config, wall, sink, result.clusters),
+        merged,
+        wall,
+    )
     return result
 
 
 def _run_one_inprocess(
     spec: ShardSpec,
     sink: _CorpusSink,
-    printer: ProgressPrinter | None,
+    telemetry: FleetTelemetry,
     start: float,
     progress_base: "dict | None" = None,
 ) -> dict:
     base = progress_base or _EMPTY_PROGRESS_BASE
     def on_progress(stats: CampaignStats) -> None:
         sink.absorb_remainder(spec.shard_index, stats)
-        if printer is None:
-            return
+        telemetry.shard_seen(spec.shard_index)
+        hits, misses = _cache_hits_misses([stats.cache_stats])
         snap = ProgressSnapshot(
             elapsed=time.monotonic() - start,
             workers=1,
@@ -725,11 +866,17 @@ def _run_one_inprocess(
             queries_err=base["queries_err"] + stats.queries_err,
             reports=base["reports"] + len(stats.reports),
             unique_reports=sink.unique,
+            cache_hits=base["cache_hits"] + hits,
+            cache_misses=base["cache_misses"] + misses,
+            unique_plans=len(stats.unique_plans),
         )
-        printer.maybe_print(snap)
+        telemetry.progress(
+            snap, {spec.shard_index: _final_payload(stats)}
+        )
 
     payload = _run_shard(spec, on_progress=on_progress)
     sink.absorb_remainder(spec.shard_index, payload["stats"])
+    telemetry.shard_seen(spec.shard_index, done=True)
     return payload
 
 
@@ -737,7 +884,7 @@ def _run_pool(
     shards: list[ShardSpec],
     config: FleetConfig,
     sink: _CorpusSink,
-    printer: ProgressPrinter | None,
+    telemetry: FleetTelemetry,
     start: float,
     max_reports: int | None = None,
     progress_base: "dict | None" = None,
@@ -778,10 +925,12 @@ def _run_pool(
             if kind == "progress":
                 latest[shard_index] = payload
                 sink.absorb(shard_index, payload.pop("new_reports", []))
+                telemetry.shard_seen(shard_index)
             elif kind == "result":
                 results[shard_index] = payload
                 latest[shard_index] = _final_payload(payload["stats"])
                 sink.absorb_remainder(shard_index, payload["stats"])
+                telemetry.shard_seen(shard_index, done=True)
                 # A result that raced the liveness check wins.
                 errors.pop(shard_index, None)
                 dead_since.pop(shard_index, None)
@@ -789,12 +938,13 @@ def _run_pool(
                 errors[shard_index] = payload
             if _reports_so_far(latest) >= report_cap:
                 stop_event.set()
-            if printer is not None:
-                printer.maybe_print(
-                    _queue_snapshot(
-                        latest, config, start, len(results), sink, base
-                    )
-                )
+            telemetry.progress(
+                _queue_snapshot(
+                    latest, config, start, len(results), sink, base
+                ),
+                latest,
+                set(results),
+            )
     finally:
         stop_event.set()
         for proc in procs:
@@ -853,7 +1003,21 @@ def _final_payload(stats: CampaignStats) -> dict:
         "queries_ok": stats.queries_ok,
         "queries_err": stats.queries_err,
         "reports": len(stats.reports),
+        "unique_plans": len(stats.unique_plans),
+        "cache": dict(stats.cache_stats),
     }
+
+
+def _cache_hits_misses(payloads: "list[dict]") -> tuple[int, int]:
+    """Sum hit/miss counters over per-shard ``cache`` payload dicts."""
+    hits = misses = 0
+    for cache in payloads:
+        for key, value in cache.items():
+            if key.endswith("_hits"):
+                hits += value
+            elif key.endswith("_misses"):
+                misses += value
+    return hits, misses
 
 
 def _reports_so_far(latest: dict[int, dict]) -> int:
@@ -867,6 +1031,8 @@ _EMPTY_PROGRESS_BASE = {
     "queries_ok": 0,
     "queries_err": 0,
     "reports": 0,
+    "cache_hits": 0,
+    "cache_misses": 0,
 }
 
 
@@ -878,6 +1044,9 @@ def _queue_snapshot(
     sink: _CorpusSink,
     base: dict = _EMPTY_PROGRESS_BASE,
 ) -> ProgressSnapshot:
+    hits, misses = _cache_hits_misses(
+        [p.get("cache", {}) for p in latest.values()]
+    )
     return ProgressSnapshot(
         elapsed=time.monotonic() - start,
         workers=config.workers,
@@ -890,6 +1059,9 @@ def _queue_snapshot(
         + sum(p["queries_err"] for p in latest.values()),
         reports=base["reports"] + _reports_so_far(latest),
         unique_reports=sink.unique,
+        cache_hits=base["cache_hits"] + hits,
+        cache_misses=base["cache_misses"] + misses,
+        unique_plans=sum(p.get("unique_plans", 0) for p in latest.values()),
     )
 
 
@@ -914,6 +1086,9 @@ def _snapshot(
         # much of the run was already-known bugs.
         unique_reports=sink.unique,
         clusters=None if clusters is None else len(clusters),
+        cache_hits=merged.cache_hits,
+        cache_misses=merged.cache_misses,
+        unique_plans=len(merged.unique_plans),
     )
 
 

@@ -32,10 +32,28 @@ class ProgressSnapshot:
     #: Root-cause clusters in the attached corpus (end-of-run triage);
     #: None when no corpus is attached or while the fleet is running.
     clusters: int | None = None
+    #: Evaluation-cache counters summed across shards (0/0 when the
+    #: fleet runs uncached).
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: Sum of per-shard unique-plan counts -- a live upper bound on the
+    #: merged set-union the final table reports.
+    unique_plans: int = 0
+    #: Guided-fleet round progress (1-based); None when unguided.
+    round: int | None = None
+    rounds: int | None = None
 
     @property
     def tests_per_second(self) -> float:
         return self.tests / self.elapsed if self.elapsed > 0 else 0.0
+
+    @property
+    def cache_hit_rate(self) -> float | None:
+        """Overall hit fraction; None when no cache lookups happened."""
+        total = self.cache_hits + self.cache_misses
+        if total == 0:
+            return None
+        return self.cache_hits / total
 
     @property
     def qpt(self) -> float:
@@ -81,6 +99,11 @@ def format_progress(snap: ProgressSnapshot, final: bool = False) -> str:
         f"{snap.tests} tests ({snap.tests_per_second:.1f}/s)",
         f"QPT {snap.qpt:.2f}",
     ]
+    if snap.round is not None and snap.rounds is not None:
+        parts.append(f"round {snap.round}/{snap.rounds}")
+    hit_rate = snap.cache_hit_rate
+    if hit_rate is not None:
+        parts.append(f"cache {100 * hit_rate:.0f}%")
     if snap.unique_reports is not None:
         dedup = snap.dedup_rate
         dedup_text = f", dedup {100 * dedup:.0f}%" if dedup is not None else ""

@@ -121,3 +121,7 @@ class ShardSpec:
     #: the flag travels instead of the cache; shard results are
     #: bit-identical either way.
     use_cache: bool = False
+    #: Per-shard trace part file (``<trace>.shardN.part``); the worker
+    #: appends structured events here and the orchestrator merges every
+    #: part into the final trace.  None disables tracing for the shard.
+    trace_path: str | None = None

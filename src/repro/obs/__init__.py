@@ -1,0 +1,81 @@
+"""Unified telemetry: metrics, traces, phase profiling, live status.
+
+The observability layer of the reproduction (ROADMAP
+"fuzzing-as-a-service"), with one hard contract inherited from the perf
+layer: **telemetry-on and telemetry-off runs are bit-identical on every
+deterministic output** -- stats signatures, corpus bytes, rendered
+tables.  Wall-clock measurements exist only inside this package
+(timers, trace timestamps, status snapshots) and never feed back into
+generation, scheduling, or results.
+
+Four building blocks:
+
+* :mod:`repro.obs.metrics` -- :class:`MetricsRegistry`, a CRDT of
+  per-source counters/gauges (deterministic) and timers (wall-clock),
+  merged across shards like the guidance CoverageMap;
+* :mod:`repro.obs.phases`  -- :class:`PhaseProfiler`, scoped timers
+  around the generate / parse / execute / compare hot-path phases;
+* :mod:`repro.obs.trace`   -- schema-versioned JSONL trace events with
+  per-worker non-blocking sinks and an orchestrator-side merge;
+* :mod:`repro.obs.status`  -- the live JSON status endpoint
+  (``coddtest fleet --status-port N``) plus
+  :mod:`repro.obs.report`'s offline ``trace report`` / ``top`` views.
+"""
+
+from repro.obs.metrics import MetricsRegistry, TimerSlot, merge_all
+from repro.obs.phases import (
+    PHASES,
+    PhaseProfiler,
+    format_phase_breakdown,
+    merge_phase_totals,
+)
+from repro.obs.report import (
+    render_phase_table,
+    render_top_frame,
+    render_trace_report,
+    snapshot_from_trace,
+    summarize_trace,
+)
+from repro.obs.status import (
+    STATUS_SCHEMA_VERSION,
+    StatusBoard,
+    StatusServer,
+    fetch_status,
+)
+from repro.obs.trace import (
+    EVENT_SCHEMA,
+    TRACE_SCHEMA_VERSION,
+    TraceWriter,
+    format_record,
+    merge_trace_files,
+    read_trace,
+    shard_part_path,
+    validate_record,
+)
+
+__all__ = [
+    "EVENT_SCHEMA",
+    "MetricsRegistry",
+    "PHASES",
+    "PhaseProfiler",
+    "STATUS_SCHEMA_VERSION",
+    "StatusBoard",
+    "StatusServer",
+    "TRACE_SCHEMA_VERSION",
+    "TimerSlot",
+    "TraceWriter",
+    "fetch_status",
+    "format_phase_breakdown",
+    "format_record",
+    "merge_all",
+    "merge_phase_totals",
+    "merge_trace_files",
+    "read_trace",
+    "render_phase_table",
+    "render_top_frame",
+    "render_trace_report",
+    "shard_part_path",
+    "snapshot_from_trace",
+    "summarize_trace",
+    "validate_record",
+]

@@ -1,0 +1,261 @@
+"""The metrics registry: deterministic counters/gauges plus wall-clock
+timers, mergeable across shards and fleet invocations.
+
+Telemetry in this repo is split along the determinism contract:
+
+* **counters** and **gauges** hold only values that are a pure function
+  of ``(seed, workers, budget)`` -- test counts, report counts, round
+  indices.  Two runs of the same campaign produce equal counter/gauge
+  state, so they may appear in any surface without breaking the
+  bit-identity promise.
+* **timers** hold wall-clock measurements (phase durations, shard
+  wall time).  They live *only* in the obs layer: no signature, corpus,
+  or rendered table ever includes them.
+
+The registry is a state-based CRDT mirroring
+:class:`repro.guidance.CoverageMap`: every slot is owned by exactly one
+*source* (one shard of one fleet run, or the orchestrator itself) whose
+stream is monotone -- counters only increment, gauges carry a
+grow-only sequence number, timers only accumulate observations.  Merge
+is therefore the elementwise join per ``(source, name)``:
+
+* **commutative**  -- ``merge(a, b) == merge(b, a)``,
+* **associative**  -- ``merge(merge(a, b), c) == merge(a, merge(b, c))``,
+* **idempotent**   -- ``merge(a, a) == a``,
+
+so the orchestrator can absorb the same shard snapshot any number of
+times, in any order (property-tested in ``tests/obs/test_metrics.py``).
+The contract is that a writer never decrements and never writes a
+source it does not own.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+
+@dataclass
+class TimerSlot:
+    """Accumulated wall-clock observations of one (source, name) timer.
+
+    The stream per owner is monotone: ``count`` and ``seconds`` only
+    grow, ``min_s`` only shrinks, ``max_s`` only grows -- so the join of
+    two snapshots of the *same* stream is the later snapshot, and the
+    join of distinct streams combines them conservatively.
+    """
+
+    count: int = 0
+    seconds: float = 0.0
+    min_s: float = float("inf")
+    max_s: float = 0.0
+
+    def observe(self, seconds: float) -> None:
+        self.count += 1
+        self.seconds += seconds
+        self.min_s = min(self.min_s, seconds)
+        self.max_s = max(self.max_s, seconds)
+
+    def join(self, other: "TimerSlot") -> None:
+        """CRDT join with a snapshot of the same owner's stream."""
+        self.count = max(self.count, other.count)
+        self.seconds = max(self.seconds, other.seconds)
+        self.min_s = min(self.min_s, other.min_s)
+        self.max_s = max(self.max_s, other.max_s)
+
+    def to_list(self) -> list:
+        return [self.count, self.seconds, self.min_s, self.max_s]
+
+    @classmethod
+    def from_list(cls, data: Iterable) -> "TimerSlot":
+        count, seconds, min_s, max_s = data
+        return cls(
+            count=int(count),
+            seconds=float(seconds),
+            min_s=float(min_s),
+            max_s=float(max_s),
+        )
+
+
+@dataclass
+class MetricsRegistry:
+    """Per-source counters, gauges, and timers with CRDT merge.
+
+    ``source`` names the stream this instance records into; views
+    aggregate across every source the registry has absorbed.
+    """
+
+    source: str = "local"
+    counters: dict[str, dict[str, int]] = field(default_factory=dict)
+    #: ``gauges[source][name] == [seq, value]`` -- seq is a per-slot
+    #: write counter, so the join can keep the *latest* write of the
+    #: owning stream without consulting wall-clock.
+    gauges: dict[str, dict[str, list]] = field(default_factory=dict)
+    timers: dict[str, dict[str, TimerSlot]] = field(default_factory=dict)
+
+    # -- recording (single-writer per source) -------------------------------
+
+    def incr(self, name: str, n: int = 1) -> None:
+        """Increment a deterministic counter (never negative)."""
+        if n < 0:
+            raise ValueError(f"counters are grow-only, got {n}")
+        bucket = self.counters.setdefault(self.source, {})
+        bucket[name] = bucket.get(name, 0) + n
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set a deterministic gauge to its latest value."""
+        bucket = self.gauges.setdefault(self.source, {})
+        slot = bucket.setdefault(name, [0, 0.0])
+        slot[0] += 1
+        slot[1] = value
+
+    def observe(self, name: str, seconds: float) -> None:
+        """Record one wall-clock observation (obs-layer-only surface)."""
+        bucket = self.timers.setdefault(self.source, {})
+        slot = bucket.get(name)
+        if slot is None:
+            slot = bucket[name] = TimerSlot()
+        slot.observe(seconds)
+
+    def absorb_phase_totals(self, phases: "dict[str, dict]") -> None:
+        """Fold a :meth:`repro.obs.phases.PhaseProfiler.to_dict` payload
+        into per-phase timers of this registry's source."""
+        bucket = self.timers.setdefault(self.source, {})
+        for phase, rec in phases.items():
+            slot = bucket.get(f"phase/{phase}")
+            if slot is None:
+                slot = bucket[f"phase/{phase}"] = TimerSlot()
+            slot.count += int(rec.get("calls", 0))
+            slot.seconds += float(rec.get("seconds", 0.0))
+            slot.max_s = max(slot.max_s, float(rec.get("seconds", 0.0)))
+            slot.min_s = min(slot.min_s, float(rec.get("seconds", 0.0)))
+
+    # -- merge --------------------------------------------------------------
+
+    @staticmethod
+    def merge(a: "MetricsRegistry", b: "MetricsRegistry") -> "MetricsRegistry":
+        """Pure CRDT join of two registries (``a`` wins the source name)."""
+        out = MetricsRegistry(source=a.source)
+        out.update(a)
+        out.update(b)
+        return out
+
+    def update(self, other: "MetricsRegistry") -> None:
+        """In-place CRDT join: absorb *other* into this registry."""
+        for source, bucket in other.counters.items():
+            mine = self.counters.setdefault(source, {})
+            for name, value in bucket.items():
+                mine[name] = max(mine.get(name, 0), value)
+        for source, bucket in other.gauges.items():
+            mine_g = self.gauges.setdefault(source, {})
+            for name, (seq, value) in bucket.items():
+                slot = mine_g.setdefault(name, [0, 0.0])
+                # Higher sequence wins; equal sequences carry the same
+                # value under the single-writer contract, but take the
+                # max so a violated contract still merges commutatively.
+                if seq > slot[0] or (seq == slot[0] and value > slot[1]):
+                    slot[0], slot[1] = seq, value
+        for source, bucket in other.timers.items():
+            mine_t = self.timers.setdefault(source, {})
+            for name, other_slot in bucket.items():
+                slot = mine_t.get(name)
+                if slot is None:
+                    mine_t[name] = TimerSlot(
+                        count=other_slot.count,
+                        seconds=other_slot.seconds,
+                        min_s=other_slot.min_s,
+                        max_s=other_slot.max_s,
+                    )
+                else:
+                    slot.join(other_slot)
+
+    # -- views --------------------------------------------------------------
+
+    def counter_total(self, name: str) -> int:
+        """Sum of *name* across every source."""
+        return sum(b.get(name, 0) for b in self.counters.values())
+
+    def counter_totals(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for bucket in self.counters.values():
+            for name, value in bucket.items():
+                out[name] = out.get(name, 0) + value
+        return dict(sorted(out.items()))
+
+    def gauge_values(self) -> dict[str, float]:
+        """Latest gauge value per name (the write with the globally
+        highest sequence; source name breaks exact ties)."""
+        best: dict[str, tuple[int, str, float]] = {}
+        for source in sorted(self.gauges):
+            for name, (seq, value) in self.gauges[source].items():
+                cur = best.get(name)
+                if cur is None or seq > cur[0]:
+                    best[name] = (seq, source, value)
+        return {name: v for name, (_, _, v) in sorted(best.items())}
+
+    def timer_totals(self) -> dict[str, dict]:
+        """Cross-source accumulation per timer name (wall-clock view)."""
+        out: dict[str, TimerSlot] = {}
+        for bucket in self.timers.values():
+            for name, slot in bucket.items():
+                acc = out.setdefault(name, TimerSlot())
+                acc.count += slot.count
+                acc.seconds += slot.seconds
+                acc.min_s = min(acc.min_s, slot.min_s)
+                acc.max_s = max(acc.max_s, slot.max_s)
+        return {
+            name: {
+                "count": slot.count,
+                "seconds": slot.seconds,
+                "min_s": slot.min_s if slot.count else 0.0,
+                "max_s": slot.max_s,
+            }
+            for name, slot in sorted(out.items())
+        }
+
+    # -- (de)serialization ---------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON form with sorted keys (crosses process boundaries)."""
+        return {
+            "source": self.source,
+            "counters": {
+                s: dict(sorted(b.items()))
+                for s, b in sorted(self.counters.items())
+            },
+            "gauges": {
+                s: {n: list(v) for n, v in sorted(b.items())}
+                for s, b in sorted(self.gauges.items())
+            },
+            "timers": {
+                s: {n: slot.to_list() for n, slot in sorted(b.items())}
+                for s, b in sorted(self.timers.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: "dict | None") -> "MetricsRegistry":
+        if not data:
+            return cls()
+        return cls(
+            source=data.get("source", "local"),
+            counters={
+                s: dict(b) for s, b in data.get("counters", {}).items()
+            },
+            gauges={
+                s: {n: list(v) for n, v in b.items()}
+                for s, b in data.get("gauges", {}).items()
+            },
+            timers={
+                s: {n: TimerSlot.from_list(v) for n, v in b.items()}
+                for s, b in data.get("timers", {}).items()
+            },
+        )
+
+
+def merge_all(registries: Iterable[MetricsRegistry]) -> MetricsRegistry:
+    """CRDT join of any number of registries (order irrelevant)."""
+    out = MetricsRegistry(source="merged")
+    for registry in registries:
+        out.update(registry)
+    return out

@@ -1,0 +1,368 @@
+"""Offline trace analysis and the ``coddtest top`` frame renderer.
+
+Two consumers of the same trace stream:
+
+* :func:`render_trace_report` (``coddtest trace report run.jsonl``)
+  reconstructs the run timeline -- shard lifecycle, guided round
+  barriers, bug arrivals -- and renders a per-phase time breakdown as a
+  flamegraph-style table.
+* :func:`snapshot_from_trace` folds a trace into the same snapshot
+  schema the live status endpoint serves, so ``coddtest top`` renders
+  one frame from either a URL (live run) or a trace file (finished
+  run) with the same code path.
+
+Determinism guarantee: both renderers are pure functions of the input
+records -- re-rendering the same trace file is byte-identical (pinned
+in ``tests/obs/test_trace_report.py``).  All times shown are offsets
+from the first record's timestamp, so the absolute wall-clock epoch
+never reaches the output.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.obs.phases import merge_phase_totals
+from repro.obs.status import STATUS_SCHEMA_VERSION
+from repro.obs.trace import validate_record
+
+#: Width of the flamegraph-style bar column.
+_BAR_WIDTH = 32
+
+
+def summarize_trace(records: Iterable[dict]) -> dict:
+    """Fold trace records into one summary dict (the shared backend of
+    the report and ``top`` renderers)."""
+    summary: dict = {
+        "run": {},
+        "finish": None,
+        "first_ts": None,
+        "last_ts": None,
+        "shards": {},
+        "rounds": [],
+        "bugs": [],
+        "clusters_new": 0,
+        "clusters_saturated": 0,
+        "tests": 0,
+        "skipped": 0,
+        "queries_ok": 0,
+        "queries_err": 0,
+        "phases": {},
+        "cache": {},
+        "unique_plans": 0,
+        "invalid": 0,
+        "records": 0,
+    }
+    for record in records:
+        summary["records"] += 1
+        if validate_record(record) is not None:
+            summary["invalid"] += 1
+            continue
+        ts = float(record["ts"])
+        if summary["first_ts"] is None or ts < summary["first_ts"]:
+            summary["first_ts"] = ts
+        if summary["last_ts"] is None or ts > summary["last_ts"]:
+            summary["last_ts"] = ts
+        ev = record["ev"]
+        shard = record["shard"]
+        if ev == "run_start":
+            summary["run"] = {
+                k: v
+                for k, v in record.items()
+                if k not in ("v", "ts", "ev", "shard")
+            }
+            summary["run"]["ts"] = ts
+        elif ev == "run_finish":
+            summary["finish"] = {
+                "tests": record["tests"],
+                "reports": record["reports"],
+                "wall_s": record["wall_s"],
+                "ts": ts,
+            }
+        elif ev == "shard_start":
+            slot = summary["shards"].setdefault(shard, _shard_slot())
+            slot["starts"].append(ts)
+            slot["rounds"] = max(slot["rounds"], record["round"] + 1)
+        elif ev == "shard_finish":
+            slot = summary["shards"].setdefault(shard, _shard_slot())
+            slot["finishes"].append(ts)
+            slot["tests"] += record["tests"]
+            slot["skipped"] += record["skipped"]
+            slot["reports"] += record["reports"]
+            slot["unique_plans"] += record.get("unique_plans", 0)
+            summary["tests"] += record["tests"]
+            summary["skipped"] += record["skipped"]
+            summary["phases"] = merge_phase_totals(
+                summary["phases"], record["phases"]
+            )
+            for key, value in record["cache"].items():
+                summary["cache"][key] = (
+                    summary["cache"].get(key, 0) + int(value)
+                )
+        elif ev == "round_barrier":
+            summary["rounds"].append(
+                {
+                    "round": record["round"],
+                    "rounds": record["rounds"],
+                    "saturated": record["saturated"],
+                    "plans": record["plans"],
+                    "ts": ts,
+                }
+            )
+        elif ev == "test_finish":
+            slot = summary["shards"].setdefault(shard, _shard_slot())
+            slot["qok"] += record["qok"]
+            slot["qerr"] += record["qerr"]
+            summary["queries_ok"] += record["qok"]
+            summary["queries_err"] += record["qerr"]
+        elif ev == "bug_found":
+            summary["bugs"].append(
+                {
+                    "ts": ts,
+                    "shard": shard,
+                    "kind": record["kind"],
+                    "oracle": record["oracle"],
+                }
+            )
+        elif ev == "cluster_new":
+            summary["clusters_new"] += 1
+        elif ev == "cluster_saturated":
+            summary["clusters_saturated"] += 1
+    summary["unique_plans"] = sum(
+        slot["unique_plans"] for slot in summary["shards"].values()
+    )
+    return summary
+
+
+def _shard_slot() -> dict:
+    return {
+        "starts": [],
+        "finishes": [],
+        "rounds": 1,
+        "tests": 0,
+        "skipped": 0,
+        "reports": 0,
+        "qok": 0,
+        "qerr": 0,
+        "unique_plans": 0,
+    }
+
+
+def render_trace_report(records: Iterable[dict]) -> str:
+    """Deterministic text report: run summary, timeline, per-phase
+    flamegraph-style table."""
+    s = summarize_trace(records)
+    if s["records"] == 0:
+        return "empty trace (0 records)\n"
+    epoch = s["first_ts"] or 0.0
+    wall = (s["last_ts"] - epoch) if s["last_ts"] is not None else 0.0
+    lines: list[str] = []
+    run = s["run"]
+    head = "trace report"
+    if run:
+        head += (
+            f" -- oracle {run.get('oracle', '?')}, "
+            f"{run.get('workers', '?')} worker(s), "
+            f"seed {run.get('seed', '?')}"
+        )
+    lines.append(head)
+    lines.append(
+        f"{s['records']} records ({s['invalid']} invalid), "
+        f"trace span {wall:.2f}s"
+    )
+    tests = s["tests"] or sum(
+        sh["tests"] for sh in s["shards"].values()
+    )
+    reports = (
+        s["finish"]["reports"]
+        if s["finish"]
+        else sum(sh["reports"] for sh in s["shards"].values())
+    )
+    lines.append(
+        f"tests {tests}, skipped {s['skipped']}, "
+        f"queries {s['queries_ok']} ok / {s['queries_err']} err, "
+        f"reports {reports}, clusters +{s['clusters_new']} new"
+        + (
+            f" / {s['clusters_saturated']} saturated"
+            if s["clusters_saturated"]
+            else ""
+        )
+    )
+    cache = s["cache"]
+    if cache:
+        hits = sum(v for k, v in cache.items() if k.endswith("_hits"))
+        misses = sum(v for k, v in cache.items() if k.endswith("_misses"))
+        total = hits + misses
+        rate = (100 * hits / total) if total else 0.0
+        lines.append(
+            f"cache {hits} hits / {misses} misses ({rate:.1f}% hit rate)"
+        )
+
+    lines.append("")
+    lines.append("timeline (offsets from first record):")
+    for shard in sorted(s["shards"]):
+        slot = s["shards"][shard]
+        start = min(slot["starts"]) - epoch if slot["starts"] else 0.0
+        end = max(slot["finishes"]) - epoch if slot["finishes"] else wall
+        lines.append(
+            f"  shard {shard}: {start:8.2f}s -> {end:8.2f}s  "
+            f"{slot['tests']:6d} tests  {slot['reports']:3d} reports"
+            + (
+                f"  ({slot['rounds']} rounds)"
+                if slot["rounds"] > 1
+                else ""
+            )
+        )
+    for barrier in s["rounds"]:
+        lines.append(
+            f"  round barrier {barrier['round'] + 1}/{barrier['rounds']}"
+            f" at {barrier['ts'] - epoch:8.2f}s  "
+            f"{barrier['plans']} plans covered, "
+            f"{barrier['saturated']} faults saturated"
+        )
+    for bug in s["bugs"][:10]:
+        lines.append(
+            f"  bug at {bug['ts'] - epoch:8.2f}s  shard {bug['shard']}"
+            f"  [{bug['kind']}] via {bug['oracle']}"
+        )
+    if len(s["bugs"]) > 10:
+        lines.append(f"  ... and {len(s['bugs']) - 10} more bugs")
+
+    lines.append("")
+    lines.append(render_phase_table(s["phases"]))
+    return "\n".join(lines) + "\n"
+
+
+def render_phase_table(phases: "dict[str, dict]") -> str:
+    """Flamegraph-style per-phase table (widest phase fills the bar)."""
+    if not phases:
+        return "per-phase breakdown: no phase data in trace"
+    total = sum(rec["seconds"] for rec in phases.values())
+    widest = max(rec["seconds"] for rec in phases.values())
+    lines = ["per-phase breakdown (profiled time):"]
+    lines.append(
+        f"  {'phase':10s} {'calls':>10s} {'seconds':>10s} {'share':>7s}"
+    )
+    for phase, rec in phases.items():
+        share = (rec["seconds"] / total) if total > 0 else 0.0
+        bar_len = (
+            int(round(_BAR_WIDTH * rec["seconds"] / widest))
+            if widest > 0
+            else 0
+        )
+        lines.append(
+            f"  {phase:10s} {rec['calls']:>10d} {rec['seconds']:>10.3f} "
+            f"{100 * share:>6.1f}% {'#' * bar_len}"
+        )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# ``coddtest top``
+# ---------------------------------------------------------------------------
+
+
+def snapshot_from_trace(records: Iterable[dict]) -> dict:
+    """A status-schema snapshot reconstructed from a (finished) trace."""
+    s = summarize_trace(records)
+    epoch = s["first_ts"] or 0.0
+    wall = (s["last_ts"] - epoch) if s["last_ts"] is not None else 0.0
+    tests = s["tests"]
+    cache = s["cache"]
+    hits = sum(v for k, v in cache.items() if k.endswith("_hits"))
+    misses = sum(v for k, v in cache.items() if k.endswith("_misses"))
+    rounds = s["rounds"][-1]["rounds"] if s["rounds"] else None
+    run = s["run"]
+    shards = {}
+    for shard in sorted(s["shards"]):
+        slot = s["shards"][shard]
+        shards[str(shard)] = {
+            "tests": slot["tests"],
+            "reports": slot["reports"],
+            "done": bool(slot["finishes"]),
+            "age_s": (
+                round(s["last_ts"] - max(slot["finishes"]), 3)
+                if slot["finishes"]
+                else 0.0
+            ),
+        }
+    return {
+        "schema_version": STATUS_SCHEMA_VERSION,
+        "state": "done" if s["finish"] is not None else "running",
+        "oracle": run.get("oracle"),
+        "workers": run.get("workers", len(shards) or 1),
+        "seed": run.get("seed"),
+        "elapsed_s": round(wall, 3),
+        "tests": tests,
+        "tests_per_second": round(tests / wall, 2) if wall > 0 else 0.0,
+        "qpt": round(s["queries_ok"] / tests, 3) if tests else 0.0,
+        "skipped": s["skipped"],
+        "queries_ok": s["queries_ok"],
+        "queries_err": s["queries_err"],
+        "reports": (
+            s["finish"]["reports"]
+            if s["finish"]
+            else sum(sh["reports"] for sh in s["shards"].values())
+        ),
+        "unique_reports": None,
+        "clusters": s["clusters_new"] or None,
+        "unique_plans": s["unique_plans"],
+        "round": (s["rounds"][-1]["round"] + 1) if s["rounds"] else None,
+        "rounds": rounds,
+        "cache": {
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": round(hits / (hits + misses), 4)
+            if hits + misses
+            else 0.0,
+        },
+        "shards": shards,
+    }
+
+
+def render_top_frame(snapshot: dict) -> str:
+    """One ``top``-style frame of a status snapshot (live or replayed)."""
+    lines: list[str] = []
+    oracle = snapshot.get("oracle") or "?"
+    lines.append(
+        f"coddtest top -- {snapshot.get('state', '?'):7s} "
+        f"oracle {oracle}, {snapshot.get('workers', '?')} worker(s), "
+        f"seed {snapshot.get('seed', '?')}"
+    )
+    cache = snapshot.get("cache") or {}
+    summary = [
+        f"elapsed {snapshot.get('elapsed_s', 0.0):7.1f}s",
+        f"tests {snapshot.get('tests', 0)}"
+        f" ({snapshot.get('tests_per_second', 0.0):.1f}/s)",
+        f"QPT {snapshot.get('qpt', 0.0):.2f}",
+        f"cache {100 * cache.get('hit_rate', 0.0):.1f}%",
+        f"plans {snapshot.get('unique_plans', 0)}",
+    ]
+    reports = f"reports {snapshot.get('reports', 0)}"
+    if snapshot.get("unique_reports") is not None:
+        reports += f" ({snapshot['unique_reports']} unique)"
+    summary.append(reports)
+    if snapshot.get("clusters") is not None:
+        summary.append(f"clusters {snapshot['clusters']}")
+    if snapshot.get("round") is not None:
+        summary.append(
+            f"round {snapshot['round']}/{snapshot.get('rounds', '?')}"
+        )
+    lines.append("  ".join(summary))
+    shards = snapshot.get("shards") or {}
+    if shards:
+        lines.append(
+            f"  {'shard':>5s} {'tests':>8s} {'reports':>8s} "
+            f"{'age':>7s}  status"
+        )
+        for shard in sorted(shards, key=lambda s: int(s)):
+            slot = shards[shard]
+            status = "done" if slot.get("done") else "running"
+            age = slot.get("age_s", 0.0)
+            if not slot.get("done") and age > 10.0:
+                status = f"stalled? ({age:.0f}s silent)"
+            lines.append(
+                f"  {shard:>5s} {slot.get('tests', 0):>8d} "
+                f"{slot.get('reports', 0):>8d} {age:>6.1f}s  {status}"
+            )
+    return "\n".join(lines) + "\n"

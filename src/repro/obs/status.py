@@ -1,0 +1,153 @@
+"""Live fleet status: a JSON snapshot behind a stdlib HTTP endpoint.
+
+``coddtest fleet --status-port N`` starts a :class:`StatusServer` in a
+daemon thread of the *orchestrator* process; the orchestrator's
+progress loop pushes fleet-wide counters into the shared
+:class:`StatusBoard`, and every ``GET`` serializes the latest snapshot.
+Nothing on the worker hot path ever touches the server: status is a
+read-only view over data the orchestrator already aggregates for
+progress lines, so a fleet with the endpoint enabled stays
+bit-identical to one without it.
+
+Snapshot schema (``STATUS_SCHEMA_VERSION``)::
+
+    {
+      "schema_version": 1,
+      "state": "running" | "done",
+      "oracle": str, "workers": int, "seed": int,
+      "elapsed_s": float, "tests": int, "tests_per_second": float,
+      "qpt": float, "skipped": int, "queries_ok": int,
+      "queries_err": int, "reports": int, "unique_reports": int|null,
+      "clusters": int|null, "unique_plans": int,
+      "round": int|null, "rounds": int|null,
+      "cache": {"hits": int, "misses": int, "hit_rate": float},
+      "shards": {"0": {"tests": int, "reports": int, "done": bool,
+                        "age_s": float}, ...}
+    }
+
+``unique_plans`` is the *sum* of per-shard unique-plan counts -- an
+upper bound on the merged set-union the final table reports (shards may
+discover the same fingerprint); it is a live approximation, never a
+deterministic output.  ``age_s`` is seconds since the shard's last
+progress message: the per-shard liveness signal.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+#: Bump when snapshot fields are removed or change meaning.
+STATUS_SCHEMA_VERSION = 1
+
+
+class StatusBoard:
+    """Thread-safe holder of the latest fleet snapshot."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._snapshot: dict = {
+            "schema_version": STATUS_SCHEMA_VERSION,
+            "state": "starting",
+        }
+
+    def publish(self, snapshot: dict) -> None:
+        """Replace the snapshot (the schema header is stamped here)."""
+        with self._lock:
+            self._snapshot = {
+                "schema_version": STATUS_SCHEMA_VERSION,
+                **snapshot,
+            }
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return dict(self._snapshot)
+
+
+class _StatusHandler(BaseHTTPRequestHandler):
+    """GET / (or /status) -> the board's snapshot as JSON."""
+
+    board: StatusBoard  # set by StatusServer on the handler subclass
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        if self.path.split("?")[0] not in ("/", "/status"):
+            self.send_error(404, "unknown path (serve / or /status)")
+            return
+        body = (
+            json.dumps(self.board.snapshot(), sort_keys=True) + "\n"
+        ).encode()
+        self.send_response(200)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, *args) -> None:  # pragma: no cover
+        """Silence per-request stderr logging."""
+
+
+class StatusServer:
+    """Stdlib HTTP server thread publishing a :class:`StatusBoard`.
+
+    ``port=0`` binds an ephemeral port; :attr:`port` holds the bound
+    one after :meth:`start`.
+    """
+
+    def __init__(
+        self, board: StatusBoard, port: int = 0, host: str = "127.0.0.1"
+    ) -> None:
+        self.board = board
+        self.host = host
+        self.port = port
+        self._httpd: "ThreadingHTTPServer | None" = None
+        self._thread: "threading.Thread | None" = None
+
+    def start(self) -> int:
+        handler = type(
+            "BoundStatusHandler", (_StatusHandler,), {"board": self.board}
+        )
+        self._httpd = ThreadingHTTPServer((self.host, self.port), handler)
+        self._httpd.daemon_threads = True
+        self.port = self._httpd.server_address[1]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="coddtest-status",
+            daemon=True,
+        )
+        self._thread.start()
+        return self.port
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}/"
+
+    def stop(self) -> None:
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "StatusServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+def fetch_status(url: str, timeout: float = 5.0) -> dict:
+    """GET a status snapshot from a running server (stdlib urllib)."""
+    from urllib.request import urlopen
+
+    with urlopen(url, timeout=timeout) as resp:  # noqa: S310 (http ok)
+        return json.loads(resp.read().decode())
+
+
+def now_monotonic() -> float:
+    """Indirection point so tests can freeze liveness ages."""
+    return time.monotonic()

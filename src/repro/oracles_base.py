@@ -102,6 +102,10 @@ class Oracle(abc.ABC):
     """Base class for all test oracles."""
 
     name = "oracle"
+    #: Attached :class:`repro.obs.PhaseProfiler` (set by the campaign;
+    #: None = unprofiled).  Wall-clock only -- profiled and unprofiled
+    #: oracles produce identical outcomes.
+    profiler = None
 
     def __init__(self) -> None:
         self.adapter: EngineAdapter | None = None
@@ -217,6 +221,31 @@ class Oracle(abc.ABC):
             self._fingerprint = result.plan_fingerprint
         return result
 
+    def compare_rows(
+        self,
+        a: "list[tuple[SqlValue, ...]]",
+        b: "list[tuple[SqlValue, ...]]",
+    ) -> bool:
+        """:func:`rows_equal`, scoped under the ``compare`` phase of an
+        attached profiler.  The comparison itself is identical."""
+        prof = self.profiler
+        if prof is None:
+            return rows_equal(a, b)
+        t0 = prof.begin()
+        try:
+            return rows_equal(a, b)
+        finally:
+            prof.end("compare", t0)
+
+    def profiled(self, phase: str):
+        """Context manager scoping a block under *phase* of an attached
+        profiler (a no-op scope when unprofiled).  Used by oracles to
+        tag their generation work."""
+        prof = self.profiler
+        if prof is None:
+            return _NULL_SCOPE
+        return prof.phase(phase)
+
     def report(self, description: str) -> TestReport:
         return TestReport(
             oracle=self.name,
@@ -224,6 +253,19 @@ class Oracle(abc.ABC):
             statements=[],
             description=description,
         )
+
+
+class _NullScope:
+    """Reusable no-op context manager for unprofiled oracles."""
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+_NULL_SCOPE = _NullScope()
 
 
 # ---------------------------------------------------------------------------

@@ -23,8 +23,10 @@ from repro.dialects import make_engine
 from repro.perf.cache import EvalCache
 from repro.runner.campaign import Campaign, CampaignStats
 
-#: Bump when the BENCH_perf.json layout changes.
-BENCH_SCHEMA_VERSION = 1
+#: Bump when the BENCH_perf.json layout changes.  v2 added the
+#: per-phase wall-clock breakdown (``phases`` per sweep record and the
+#: aggregated ``phase_totals``) from :mod:`repro.obs.phases`.
+BENCH_SCHEMA_VERSION = 2
 
 
 def run_fig2_campaign(
@@ -59,6 +61,20 @@ def measure_depth(depth: int, tests: int = 400, seed: int = 17) -> dict:
         "cache_hit_rate": round(on_stats.cache_hit_rate, 4),
         "cache_stats": dict(on_stats.cache_stats),
         "signatures_identical": off_stats.signature() == on_stats.signature(),
+        # Where the wall-clock goes, per cache mode: the cache should
+        # shrink the parse/execute share, and the per-phase trajectory
+        # across PRs shows which phase a regression landed in.
+        "phases": {
+            "cache_off": _round_phases(off_stats.phase_stats),
+            "cache_on": _round_phases(on_stats.phase_stats),
+        },
+    }
+
+
+def _round_phases(phases: "dict[str, dict]") -> dict:
+    return {
+        name: {"calls": rec["calls"], "seconds": round(rec["seconds"], 6)}
+        for name, rec in phases.items()
     }
 
 
@@ -66,11 +82,23 @@ def bench_payload(
     sweep: list[dict], workloads: "list[dict] | None" = None
 ) -> dict:
     """Assemble the BENCH_perf.json payload from measurement records."""
+    from repro.obs.phases import merge_phase_totals
+
     deep = [r["speedup"] for r in sweep if r["max_depth"] >= 5]
+    phase_totals: dict = {"cache_off": {}, "cache_on": {}}
+    for record in sweep:
+        for mode in phase_totals:
+            phase_totals[mode] = merge_phase_totals(
+                phase_totals[mode], record.get("phases", {}).get(mode, {})
+            )
     return {
         "schema_version": BENCH_SCHEMA_VERSION,
         "workload": "fig2 (CODDTest & Expression, fixed-seed)",
         "maxdepth_sweep": list(sweep),
+        "phase_totals": {
+            mode: _round_phases(totals)
+            for mode, totals in phase_totals.items()
+        },
         "min_speedup_at_depth_ge_5": round(min(deep), 3) if deep else None,
         "all_signatures_identical": all(
             r["signatures_identical"] for r in sweep

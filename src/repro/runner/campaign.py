@@ -24,6 +24,7 @@ from typing import Callable, Iterable
 from repro.adapters.base import EngineAdapter
 from repro.errors import ReproError, SqlError
 from repro.generator.state_gen import StateGenerator
+from repro.obs.phases import PhaseProfiler, merge_phase_totals
 from repro.oracles_base import Oracle, TestReport
 
 
@@ -46,6 +47,11 @@ class CampaignStats:
     #: Deliberately absent from :meth:`signature`: the signature asserts
     #: cache-on/off equivalence, these counters are what differs.
     cache_stats: dict[str, int] = field(default_factory=dict)
+    #: Per-phase wall-clock breakdown (``{phase: {"calls", "seconds"}}``,
+    #: see :mod:`repro.obs.phases`).  Wall-clock only, so -- like
+    #: ``wall_seconds`` and ``cache_stats`` -- it is excluded from
+    #: :meth:`signature`.
+    phase_stats: dict = field(default_factory=dict)
 
     @classmethod
     def merge(
@@ -79,6 +85,9 @@ class CampaignStats:
             merged.reports.extend(part.reports)
             for key, value in part.cache_stats.items():
                 merged.cache_stats[key] = merged.cache_stats.get(key, 0) + value
+            merged.phase_stats = merge_phase_totals(
+                merged.phase_stats, part.phase_stats
+            )
         if max_reports is not None:
             del merged.reports[max_reports:]
         return merged
@@ -168,6 +177,8 @@ class Campaign:
         on_progress: Callable[[CampaignStats], None] | None = None,
         policy=None,
         cache=None,
+        profiler: PhaseProfiler | None = None,
+        tracer=None,
     ) -> None:
         self.oracle = oracle
         self.adapter = adapter
@@ -200,6 +211,18 @@ class Campaign:
         #: each test, ``observe(outcome)`` accounts the result.  None
         #: keeps the historical uniform-random behaviour bit-for-bit.
         self.policy = policy
+        #: Always-on phase profiler (two ``perf_counter`` reads per scope
+        #: are noise next to a parse or an execution).  Timings land in
+        #: ``stats.phase_stats``, never in the signature, so profiled and
+        #: unprofiled campaigns are bit-identical on deterministic
+        #: outputs.
+        self.profiler = profiler or PhaseProfiler()
+        adapter.attach_profiler(self.profiler)
+        oracle.profiler = self.profiler
+        #: Optional :class:`repro.obs.TraceWriter` receiving structured
+        #: test/state/bug events; None traces nothing.  Tracing never
+        #: influences control flow.
+        self.tracer = tracer
         self.stats = CampaignStats(oracle=oracle.name)
 
     @classmethod
@@ -254,6 +277,11 @@ class Campaign:
                     return self._finish(start)
                 self._one_test()
             if self.on_progress is not None:
+                if self.cache is not None:
+                    # Keep the wall-clock-only counters live for progress
+                    # consumers (the fleet streams them to the printer and
+                    # status board between batches).
+                    self.stats.cache_stats = self.cache.stats.to_dict()
                 self.on_progress(self.stats)
             if self._budget_done(n_tests, seconds, start):
                 return self._finish(start)
@@ -272,6 +300,7 @@ class Campaign:
         return len(self.stats.reports) >= self.max_reports
 
     def _new_state(self) -> bool:
+        t0 = self.profiler.begin()
         try:
             schema = self.state_gen.generate(self.adapter)
         except SqlError:
@@ -279,18 +308,43 @@ class Campaign:
         except ReproError:
             # Injected fault fired during state generation; retry.
             return False
+        finally:
+            self.profiler.end("generate", t0)
         if not schema.base_tables:
             return False
         self.stats.states += 1
         self.oracle.prepare(self.adapter, schema, self.rng)
+        if self.tracer is not None:
+            self.tracer.emit(
+                "state",
+                states=self.stats.states,
+                tests=self.stats.tests,
+                cache=(
+                    self.cache.stats.to_dict()
+                    if self.cache is not None
+                    else {}
+                ),
+            )
         return True
 
     def _one_test(self) -> None:
+        tracer = self.tracer
+        n = self.stats.tests + self.stats.skipped
+        if tracer is not None:
+            tracer.emit("test_start", n=n)
         if self.policy is not None:
             self.policy.begin_test().apply(self.oracle)
         outcome = self.oracle.run_one()
         if self.policy is not None:
             self.policy.observe(outcome)
+        if tracer is not None:
+            tracer.emit(
+                "test_finish",
+                n=n,
+                status=outcome.status,
+                qok=outcome.queries_ok,
+                qerr=outcome.queries_err,
+            )
         self.stats.queries_ok += outcome.queries_ok
         self.stats.queries_err += outcome.queries_err
         if outcome.fingerprint:
@@ -300,6 +354,13 @@ class Campaign:
         elif outcome.status == "bug":
             self.stats.tests += 1
             if outcome.report is not None:
+                if tracer is not None:
+                    tracer.emit(
+                        "bug_found",
+                        kind=outcome.report.kind,
+                        oracle=outcome.report.oracle,
+                        faults=sorted(outcome.report.fired_faults),
+                    )
                 # Prepend the state-building DDL/DML so the persisted
                 # report is a self-contained, replayable program.
                 outcome.report.statements = [
@@ -317,6 +378,7 @@ class Campaign:
             self.stats.branch_coverage = engine.coverage.branch_coverage()
         if self.cache is not None:
             self.stats.cache_stats = self.cache.stats.to_dict()
+        self.stats.phase_stats = self.profiler.to_dict()
         return self.stats
 
 

@@ -1,0 +1,185 @@
+"""The telemetry bit-identity contract, end to end.
+
+A fleet with every observability surface enabled -- structured trace,
+live status endpoint, metrics registry -- must produce exactly the
+deterministic outputs of a silent fleet: same merged signature, same
+report fingerprints, same rendered table.  Wall-clock exists only in
+the obs layer (phase timers, trace timestamps, status ages).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.adapters.minidb_adapter import MiniDBAdapter
+from repro.core import CoddTestOracle
+from repro.dialects import make_engine
+from repro.fleet import BugCorpus, FleetConfig, run_fleet
+from repro.fleet.telemetry import FleetTelemetry
+from repro.obs import (
+    fetch_status,
+    read_trace,
+    summarize_trace,
+    validate_record,
+)
+from repro.report import render_fleet_table
+from repro.runner.campaign import Campaign
+
+WORKERS = 4
+TESTS = 160
+SEED = 5
+
+
+def _config(**kwargs) -> FleetConfig:
+    return FleetConfig(
+        oracle="coddtest",
+        buggy=True,
+        workers=WORKERS,
+        seed=SEED,
+        n_tests=TESTS,
+        use_cache=True,
+        **kwargs,
+    )
+
+
+def _witness(result, corpus) -> dict:
+    return {
+        "signature": result.merged.signature(),
+        "corpus": sorted(corpus.entries),
+        "table": _strip_throughput(
+            render_fleet_table(result.shards, result.merged)
+        ),
+    }
+
+
+def _strip_throughput(table: str) -> str:
+    """Drop the tests/s column: it is the one wall-clock cell the table
+    has always carried (exempt from the determinism guarantee)."""
+    return "\n".join(
+        line.rsplit(None, 1)[0] if line.strip() else line
+        for line in table.splitlines()
+    )
+
+
+class TestFleetBitIdentity:
+    def test_traced_fleet_with_status_is_bit_identical(self, tmp_path):
+        silent_corpus = BugCorpus()
+        silent = run_fleet(_config(), corpus=silent_corpus)
+
+        trace_path = str(tmp_path / "run.trace.jsonl")
+        telemetry = FleetTelemetry(trace_path=trace_path, status_port=0)
+        snapshots: list[dict] = []
+
+        def poll() -> None:
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                url = telemetry.url
+                if url is None:
+                    if telemetry.server is None and snapshots:
+                        return
+                    time.sleep(0.005)
+                    continue
+                try:
+                    snapshots.append(fetch_status(url, timeout=2.0))
+                except OSError:
+                    time.sleep(0.005)
+
+        poller = threading.Thread(target=poll, daemon=True)
+        poller.start()
+        traced_corpus = BugCorpus()
+        traced = run_fleet(
+            _config(trace_path=trace_path, status_port=0),
+            corpus=traced_corpus,
+            telemetry=telemetry,
+        )
+        poller.join(timeout=5.0)
+
+        assert _witness(traced, traced_corpus) == _witness(
+            silent, silent_corpus
+        )
+
+        # The trace is schema-valid and agrees with the merged stats.
+        records = read_trace(trace_path)
+        assert records, "trace must not be empty"
+        assert all(validate_record(r) is None for r in records)
+        summary = summarize_trace(records)
+        assert summary["tests"] == silent.merged.tests
+        assert {"generate", "parse", "execute"} <= set(summary["phases"])
+        events = {r["ev"] for r in records}
+        assert {"run_start", "run_finish", "shard_start",
+                "shard_finish", "test_finish"} <= events
+
+        # The endpoint served live snapshots of the right shape.
+        assert snapshots, "status endpoint was never reachable"
+        last = snapshots[-1]
+        assert last["schema_version"] == 1
+        assert last["workers"] == WORKERS
+        assert last["state"] in ("starting", "running", "done")
+
+    def test_metrics_registry_agrees_with_merged_stats(self, tmp_path):
+        corpus = BugCorpus()
+        result = run_fleet(_config(), corpus=corpus)
+        metrics = result.metrics
+        assert metrics is not None
+        totals = metrics.counter_totals()
+        assert totals["tests"] == result.merged.tests
+        assert totals["reports"] == len(result.merged.reports)
+        assert totals["queries_ok"] == result.merged.queries_ok
+        # One source per shard (plus the orchestrator's own stream):
+        # single-writer streams, summed in views.
+        shard_sources = [
+            s for s in metrics.counters if s.startswith("shard")
+        ]
+        assert len(shard_sources) == WORKERS
+        # Wall-clock lives in timers only, never in counters/gauges.
+        timer_names = set(metrics.timer_totals())
+        assert "shard_wall" in timer_names
+        assert any(name.startswith("phase/") for name in timer_names)
+
+    def test_guided_fleet_traced_matches_untraced(self, tmp_path):
+        config = dict(guidance="plan-coverage", guidance_rounds=2)
+        silent = run_fleet(_config(**config))
+        trace_path = str(tmp_path / "guided.trace.jsonl")
+        traced = run_fleet(
+            _config(trace_path=trace_path, **config)
+        )
+        assert traced.merged.signature() == silent.merged.signature()
+        assert traced.arm_schedules == silent.arm_schedules
+        summary = summarize_trace(read_trace(trace_path))
+        assert len(summary["rounds"]) >= 1
+        assert summary["tests"] == silent.merged.tests
+
+
+class TestCampaignPhaseStats:
+    def test_phase_stats_populated_but_excluded_from_signature(self):
+        def run():
+            oracle = CoddTestOracle(max_depth=3)
+            adapter = MiniDBAdapter(
+                make_engine("sqlite", with_catalog_faults=True)
+            )
+            return Campaign(oracle, adapter, seed=3).run(n_tests=40)
+
+        a, b = run(), run()
+        assert {"generate", "parse", "execute", "compare"} <= set(
+            a.phase_stats
+        )
+        assert a.phase_stats["execute"]["calls"] == b.phase_stats[
+            "execute"
+        ]["calls"]
+        # Wall-clock differs between the runs; signatures must not.
+        assert "phase_stats" not in a.signature()
+        assert a.signature() == b.signature()
+
+    def test_merge_sums_phase_stats(self):
+        from repro.runner.campaign import CampaignStats
+
+        a = CampaignStats(oracle="coddtest")
+        a.phase_stats = {"execute": {"calls": 2, "seconds": 0.5}}
+        b = CampaignStats(oracle="coddtest")
+        b.phase_stats = {"execute": {"calls": 3, "seconds": 0.25}}
+        merged = CampaignStats.merge([a, b])
+        assert merged.phase_stats["execute"] == {
+            "calls": 5,
+            "seconds": 0.75,
+        }

@@ -1,0 +1,140 @@
+"""Property tests of the metrics-registry CRDT.
+
+The registry mirrors the CoverageMap join: per-source monotone streams
+with an elementwise join, so ``merge`` must be commutative,
+associative, and idempotent for arbitrary registries -- hypothesis
+builds them from random (source, name, value) writes.  The fleet
+relies on this to absorb shard snapshots any number of times in any
+order (re-delivered progress payloads, guided rounds).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.obs.metrics import MetricsRegistry, TimerSlot, merge_all
+
+_names = st.sampled_from(["tests", "reports", "cache/hits", "rounds"])
+_sources = st.sampled_from(["shard0/r0", "shard1/r0", "shard0/r1", "orch"])
+
+
+@st.composite
+def registries(draw) -> MetricsRegistry:
+    reg = MetricsRegistry(source="builder")
+    for _ in range(draw(st.integers(0, 6))):
+        reg.source = draw(_sources)
+        kind = draw(st.integers(0, 2))
+        name = draw(_names)
+        if kind == 0:
+            reg.incr(name, draw(st.integers(0, 50)))
+        elif kind == 1:
+            reg.gauge(name, draw(st.floats(0, 100, allow_nan=False)))
+        else:
+            reg.observe(name, draw(st.floats(0, 1, allow_nan=False)))
+    return reg
+
+
+def canon(reg: MetricsRegistry) -> dict:
+    """Merge-comparable form: source label aside, equal state."""
+    data = reg.to_dict()
+    data.pop("source")
+    return data
+
+
+@settings(max_examples=200, deadline=None)
+@given(registries(), registries())
+def test_merge_commutative(a, b):
+    assert canon(MetricsRegistry.merge(a, b)) == canon(
+        MetricsRegistry.merge(b, a)
+    )
+
+
+@settings(max_examples=200, deadline=None)
+@given(registries(), registries(), registries())
+def test_merge_associative(a, b, c):
+    left = MetricsRegistry.merge(MetricsRegistry.merge(a, b), c)
+    right = MetricsRegistry.merge(a, MetricsRegistry.merge(b, c))
+    assert canon(left) == canon(right)
+
+
+@settings(max_examples=200, deadline=None)
+@given(registries())
+def test_merge_idempotent(a):
+    assert canon(MetricsRegistry.merge(a, a)) == canon(a)
+
+
+@settings(max_examples=100, deadline=None)
+@given(registries(), registries())
+def test_merge_matches_merge_all_and_roundtrips(a, b):
+    merged = merge_all([a, b])
+    assert canon(merged) == canon(MetricsRegistry.merge(a, b))
+    assert canon(MetricsRegistry.from_dict(merged.to_dict())) == canon(merged)
+
+
+@settings(max_examples=100, deadline=None)
+@given(registries(), registries())
+def test_counter_totals_bounded_by_sum(a, b):
+    """The join never invents counts: per (source, name) the merged
+    counter is the max of the inputs, so totals are bounded by their
+    sum and by each input from below."""
+    merged = MetricsRegistry.merge(a, b)
+    for name, total in merged.counter_totals().items():
+        assert total <= a.counter_total(name) + b.counter_total(name)
+        assert total >= max(a.counter_total(name), b.counter_total(name))
+
+
+class TestSingleWriterSemantics:
+    def test_snapshots_of_one_stream_join_to_latest(self):
+        early = MetricsRegistry(source="shard0/r0")
+        early.incr("tests", 10)
+        late = MetricsRegistry(source="shard0/r0")
+        late.incr("tests", 25)
+        merged = MetricsRegistry.merge(early, late)
+        assert merged.counter_total("tests") == 25
+
+    def test_distinct_sources_sum_in_views(self):
+        a = MetricsRegistry(source="shard0/r0")
+        a.incr("tests", 10)
+        b = MetricsRegistry(source="shard1/r0")
+        b.incr("tests", 5)
+        assert MetricsRegistry.merge(a, b).counter_total("tests") == 15
+
+    def test_per_round_sources_accumulate_across_rounds(self):
+        rounds = []
+        for round_index in range(3):
+            reg = MetricsRegistry(source=f"shard0/r{round_index}")
+            reg.incr("tests", 100)
+            rounds.append(reg)
+        # Absorbing every round twice must not double-count.
+        assert merge_all(rounds + rounds).counter_total("tests") == 300
+
+    def test_gauge_latest_write_wins(self):
+        reg = MetricsRegistry(source="shard0/r0")
+        reg.gauge("branch_coverage", 0.4)
+        reg.gauge("branch_coverage", 0.6)
+        stale = MetricsRegistry(source="shard0/r0")
+        stale.gauge("branch_coverage", 0.1)
+        merged = MetricsRegistry.merge(stale, reg)
+        assert merged.gauge_values()["branch_coverage"] == 0.6
+
+    def test_counters_reject_negative_increments(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            MetricsRegistry().incr("tests", -1)
+
+    def test_absorb_phase_totals_becomes_timers(self):
+        reg = MetricsRegistry(source="shard0/r0")
+        reg.absorb_phase_totals(
+            {"execute": {"calls": 7, "seconds": 0.5}}
+        )
+        totals = reg.timer_totals()
+        assert totals["phase/execute"]["count"] == 7
+        assert totals["phase/execute"]["seconds"] == 0.5
+
+    def test_timer_slot_join_is_elementwise(self):
+        a = TimerSlot(count=3, seconds=1.5, min_s=0.1, max_s=1.0)
+        b = TimerSlot(count=5, seconds=1.0, min_s=0.05, max_s=0.5)
+        a.join(b)
+        assert a.count == 5 and a.seconds == 1.5
+        assert a.min_s == 0.05 and a.max_s == 1.0

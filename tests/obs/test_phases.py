@@ -1,0 +1,85 @@
+"""Phase profiler unit tests: accumulation, merge, rendering, and the
+canonical generate/parse/execute/compare ordering."""
+
+from __future__ import annotations
+
+from repro.obs.phases import (
+    PHASES,
+    PhaseProfiler,
+    format_phase_breakdown,
+    merge_phase_totals,
+)
+
+
+class TestPhaseProfiler:
+    def test_begin_end_accumulates(self):
+        prof = PhaseProfiler()
+        t0 = prof.begin()
+        prof.end("execute", t0)
+        prof.end("execute", prof.begin())
+        totals = prof.to_dict()
+        assert totals["execute"]["calls"] == 2
+        assert totals["execute"]["seconds"] >= 0.0
+
+    def test_context_manager_records_on_error(self):
+        prof = PhaseProfiler()
+        try:
+            with prof.phase("parse"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert prof.to_dict()["parse"]["calls"] == 1
+
+    def test_to_dict_canonical_order(self):
+        prof = PhaseProfiler()
+        for name in ("compare", "generate", "custom", "execute", "parse"):
+            prof.end(name, prof.begin())
+        assert list(prof.to_dict()) == [
+            "generate", "parse", "execute", "compare", "custom",
+        ]
+        assert list(PHASES) == ["generate", "parse", "execute", "compare"]
+
+
+class TestMergePhaseTotals:
+    def test_merge_sums_disjoint_and_shared(self):
+        a = {"parse": {"calls": 2, "seconds": 1.0}}
+        b = {
+            "parse": {"calls": 3, "seconds": 0.5},
+            "execute": {"calls": 1, "seconds": 2.0},
+        }
+        merged = merge_phase_totals(a, b)
+        assert merged == {
+            "parse": {"calls": 5, "seconds": 1.5},
+            "execute": {"calls": 1, "seconds": 2.0},
+        }
+        assert list(merged) == ["parse", "execute"]
+
+    def test_merge_empty_is_identity(self):
+        a = {"generate": {"calls": 1, "seconds": 0.25}}
+        assert merge_phase_totals(a, {}) == a
+        assert merge_phase_totals({}, a) == a
+
+
+class TestFormatPhaseBreakdown:
+    def test_empty_renders_nothing(self):
+        assert format_phase_breakdown({}) == ""
+        assert format_phase_breakdown({}, 5.0) == ""
+
+    def test_shares_of_profiled_total(self):
+        line = format_phase_breakdown(
+            {
+                "parse": {"calls": 1, "seconds": 1.0},
+                "execute": {"calls": 1, "seconds": 3.0},
+            }
+        )
+        assert line.startswith("phases: ")
+        assert "parse 1.00s (25%)" in line
+        assert "execute 3.00s (75%)" in line
+        assert "other" not in line
+
+    def test_wall_clock_residual_becomes_other(self):
+        line = format_phase_breakdown(
+            {"execute": {"calls": 1, "seconds": 1.0}}, wall_seconds=4.0
+        )
+        assert "execute 1.00s (25%)" in line
+        assert "other 3.00s (75%)" in line

@@ -1,0 +1,61 @@
+"""Status board + stdlib HTTP endpoint tests (no external deps)."""
+
+from __future__ import annotations
+
+import urllib.error
+
+import pytest
+
+from repro.obs.status import (
+    STATUS_SCHEMA_VERSION,
+    StatusBoard,
+    StatusServer,
+    fetch_status,
+)
+
+
+class TestStatusBoard:
+    def test_initial_snapshot_is_starting(self):
+        snap = StatusBoard().snapshot()
+        assert snap["schema_version"] == STATUS_SCHEMA_VERSION
+        assert snap["state"] == "starting"
+
+    def test_publish_stamps_schema_version(self):
+        board = StatusBoard()
+        board.publish({"state": "running", "tests": 5})
+        snap = board.snapshot()
+        assert snap["schema_version"] == STATUS_SCHEMA_VERSION
+        assert snap["tests"] == 5
+
+    def test_snapshot_returns_copy(self):
+        board = StatusBoard()
+        board.publish({"state": "running"})
+        board.snapshot()["state"] = "mutated"
+        assert board.snapshot()["state"] == "running"
+
+
+class TestStatusServer:
+    def test_serves_latest_snapshot_on_ephemeral_port(self):
+        board = StatusBoard()
+        with StatusServer(board, port=0) as server:
+            assert server.port != 0
+            assert fetch_status(server.url)["state"] == "starting"
+            board.publish({"state": "running", "tests": 42})
+            for path in ("", "status"):
+                snap = fetch_status(server.url + path)
+                assert snap["tests"] == 42
+                assert snap["state"] == "running"
+
+    def test_unknown_path_is_404(self):
+        with StatusServer(StatusBoard(), port=0) as server:
+            with pytest.raises(urllib.error.HTTPError) as exc:
+                fetch_status(server.url + "nope")
+            assert exc.value.code == 404
+
+    def test_stop_shuts_the_endpoint_down(self):
+        server = StatusServer(StatusBoard(), port=0)
+        server.start()
+        url = server.url
+        server.stop()
+        with pytest.raises(OSError):
+            fetch_status(url, timeout=0.5)

@@ -1,0 +1,135 @@
+"""Offline trace analysis: report rendering, top snapshots, and their
+determinism (pure functions of the input records)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.report import (
+    render_phase_table,
+    render_top_frame,
+    render_trace_report,
+    snapshot_from_trace,
+    summarize_trace,
+)
+from repro.obs.status import STATUS_SCHEMA_VERSION
+from repro.obs.trace import format_record
+
+
+def _rec(ev: str, ts: float, shard=None, **payload) -> dict:
+    return json.loads(format_record(ev, ts, shard, payload))
+
+
+def _fixture_trace() -> list[dict]:
+    return [
+        _rec("run_start", 100.0, oracle="coddtest", workers=2, seed=7),
+        _rec("shard_start", 100.1, shard=0, seed=11, round=0),
+        _rec("shard_start", 100.1, shard=1, seed=12, round=0),
+        _rec("test_start", 100.2, shard=0, n=0),
+        _rec("test_finish", 100.3, shard=0, n=0, status="ok", qok=3, qerr=0),
+        _rec("bug_found", 100.4, shard=1, kind="logic", oracle="coddtest",
+             faults=["sqlite_x"]),
+        _rec("cluster_new", 100.5, fingerprint="ab12", kind="logic"),
+        _rec("round_barrier", 100.6, round=0, rounds=2, saturated=1,
+             plans=40),
+        _rec(
+            "shard_finish", 101.0, shard=0, tests=10, skipped=1, reports=0,
+            round=0,
+            phases={"execute": {"calls": 10, "seconds": 0.5},
+                    "parse": {"calls": 10, "seconds": 0.1}},
+            cache={"parse_hits": 8, "parse_misses": 2},
+            unique_plans=9,
+        ),
+        _rec(
+            "shard_finish", 101.2, shard=1, tests=10, skipped=0, reports=1,
+            round=0,
+            phases={"execute": {"calls": 10, "seconds": 0.7}},
+            cache={"parse_hits": 5, "parse_misses": 5},
+            unique_plans=7,
+        ),
+        _rec("run_finish", 101.3, tests=20, reports=1, wall_s=1.3),
+    ]
+
+
+class TestSummarizeTrace:
+    def test_folds_counts_phases_and_cache(self):
+        s = summarize_trace(_fixture_trace())
+        assert s["records"] == 11 and s["invalid"] == 0
+        assert s["tests"] == 20 and s["skipped"] == 1
+        assert s["queries_ok"] == 3 and s["queries_err"] == 0
+        assert s["clusters_new"] == 1
+        assert s["unique_plans"] == 16
+        assert s["phases"]["execute"] == {"calls": 20, "seconds": 1.2}
+        assert s["cache"] == {"parse_hits": 13, "parse_misses": 7}
+        assert s["finish"]["reports"] == 1
+        assert [r["round"] for r in s["rounds"]] == [0]
+
+    def test_invalid_records_counted_not_crashed(self):
+        records = _fixture_trace() + [{"ev": "missing header"}]
+        s = summarize_trace(records)
+        assert s["invalid"] == 1
+        assert s["tests"] == 20
+
+
+class TestRenderTraceReport:
+    def test_deterministic_and_carries_key_lines(self):
+        records = _fixture_trace()
+        out = render_trace_report(records)
+        assert out == render_trace_report(list(records))
+        assert "oracle coddtest, 2 worker(s), seed 7" in out
+        assert "tests 20, skipped 1" in out
+        assert "cache 13 hits / 7 misses (65.0% hit rate)" in out
+        assert "shard 0:" in out and "shard 1:" in out
+        assert "round barrier 1/2" in out
+        assert "bug at" in out
+        assert "per-phase breakdown" in out
+
+    def test_empty_trace(self):
+        assert render_trace_report([]) == "empty trace (0 records)\n"
+
+    def test_phase_table_bar_scales_to_widest(self):
+        table = render_phase_table(
+            {
+                "parse": {"calls": 1, "seconds": 1.0},
+                "execute": {"calls": 1, "seconds": 2.0},
+            }
+        )
+        lines = table.splitlines()
+        parse_bar = next(l for l in lines if l.strip().startswith("parse"))
+        execute_bar = next(
+            l for l in lines if l.strip().startswith("execute")
+        )
+        assert execute_bar.count("#") == 32
+        assert parse_bar.count("#") == 16
+
+
+class TestTopFromTrace:
+    def test_snapshot_matches_status_schema(self):
+        snap = snapshot_from_trace(_fixture_trace())
+        assert snap["schema_version"] == STATUS_SCHEMA_VERSION
+        assert snap["state"] == "done"
+        assert snap["workers"] == 2 and snap["seed"] == 7
+        assert snap["tests"] == 20 and snap["reports"] == 1
+        assert snap["cache"]["hits"] == 13
+        assert snap["round"] == 1 and snap["rounds"] == 2
+        assert set(snap["shards"]) == {"0", "1"}
+        assert snap["shards"]["1"]["done"] is True
+
+    def test_unfinished_trace_reports_running(self):
+        records = [r for r in _fixture_trace() if r["ev"] != "run_finish"]
+        assert snapshot_from_trace(records)["state"] == "running"
+
+    def test_render_top_frame(self):
+        snap = snapshot_from_trace(_fixture_trace())
+        frame = render_top_frame(snap)
+        assert frame == render_top_frame(dict(snap))
+        assert "coddtest top -- done" in frame
+        assert "tests 20" in frame
+        assert "  0 " in frame and "done" in frame
+
+    def test_stalled_shard_flagged(self):
+        snap = snapshot_from_trace(_fixture_trace())
+        snap["shards"]["0"] = {
+            "tests": 3, "reports": 0, "done": False, "age_s": 42.0,
+        }
+        assert "stalled? (42s silent)" in render_top_frame(snap)

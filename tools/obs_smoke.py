@@ -1,0 +1,168 @@
+"""obs-smoke: end-to-end check of the observability surfaces.
+
+Runs one fixed-seed fleet three ways and checks the telemetry contract
+from the outside, the way a user would hit it:
+
+1. **Silent baseline** -- no trace, no status server; records the
+   merged campaign signature and corpus fingerprints.
+2. **Fully instrumented run** -- same config with ``--trace`` and a
+   live ``--status-port`` endpoint, polled concurrently over HTTP
+   while the fleet runs.  Must be bit-identical to the baseline on
+   every deterministic output (the telemetry-off/on promise of
+   :mod:`repro.obs`).
+3. **Offline consumers** -- the merged trace must validate against the
+   event schema (``tools/trace_check.py``), render a deterministic
+   ``coddtest trace report``, and reconstruct a ``top`` snapshot.
+
+Exit 1 on any violation.  CI runs this as the non-blocking obs-smoke
+job; it is also a useful local one-shot (``PYTHONPATH=src python
+tools/obs_smoke.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import tempfile
+import threading
+import time
+
+from repro.fleet import BugCorpus, FleetConfig, ProgressPrinter, run_fleet
+from repro.fleet.telemetry import FleetTelemetry
+from repro.obs import (
+    fetch_status,
+    read_trace,
+    render_trace_report,
+    snapshot_from_trace,
+    summarize_trace,
+)
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from trace_check import check_file  # noqa: E402
+
+
+def _signature(config: FleetConfig, **kwargs) -> dict:
+    corpus = BugCorpus()
+    result = run_fleet(config, corpus=corpus, **kwargs)
+    return {
+        "merged": result.merged.signature(),
+        "corpus": sorted(corpus.entries),
+        "arms": result.arm_schedules,
+    }
+
+
+def _poll_status(telemetry: FleetTelemetry, snapshots: list) -> None:
+    """Poll the live endpoint until the server goes away."""
+    deadline = time.monotonic() + 60.0
+    while time.monotonic() < deadline:
+        url = telemetry.url
+        if url is None:
+            if telemetry.server is None and snapshots:
+                return  # server came and went
+            time.sleep(0.01)
+            continue
+        try:
+            snapshots.append(fetch_status(url, timeout=2.0))
+        except OSError:
+            time.sleep(0.01)
+            continue
+        if snapshots[-1].get("state") == "done":
+            return
+        time.sleep(0.05)
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tests", type=int, default=600)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=11)
+    args = parser.parse_args(argv)
+
+    failures: list[str] = []
+
+    def check(ok: bool, what: str) -> None:
+        print(f"[obs-smoke] {'ok  ' if ok else 'FAIL'} {what}")
+        if not ok:
+            failures.append(what)
+
+    def config(**kwargs) -> FleetConfig:
+        return FleetConfig(
+            oracle="coddtest",
+            buggy=True,
+            workers=args.workers,
+            seed=args.seed,
+            n_tests=args.tests,
+            use_cache=True,
+            **kwargs,
+        )
+
+    baseline = _signature(config())
+    print(
+        f"[obs-smoke] baseline: {args.workers}-worker fleet, "
+        f"{args.tests} tests, {len(baseline['corpus'])} corpus entries"
+    )
+
+    with tempfile.TemporaryDirectory(prefix="obs_smoke_") as tmp:
+        trace_path = os.path.join(tmp, "run.trace.jsonl")
+        traced_config = config(trace_path=trace_path, status_port=0)
+        telemetry = FleetTelemetry(
+            printer=ProgressPrinter(interval=0.2),
+            trace_path=trace_path,
+            status_port=0,
+        )
+        snapshots: list[dict] = []
+        poller = threading.Thread(
+            target=_poll_status, args=(telemetry, snapshots), daemon=True
+        )
+        poller.start()
+        instrumented = _signature(traced_config, telemetry=telemetry)
+        poller.join(timeout=10.0)
+
+        check(
+            instrumented == baseline,
+            "traced+status run bit-identical to silent run",
+        )
+        check(len(snapshots) > 0, f"live endpoint polled ({len(snapshots)} snapshots)")
+        if snapshots:
+            last = snapshots[-1]
+            check(
+                last.get("schema_version") == 1
+                and last.get("workers") == args.workers
+                and "shards" in last,
+                "status snapshot carries the v1 schema",
+            )
+
+        records_n, invalid, errors = check_file(trace_path)
+        for error in errors[:10]:
+            print(f"[obs-smoke]   {error}", file=sys.stderr)
+        check(invalid == 0 and records_n > 0, "trace validates against the event schema")
+
+        records = read_trace(trace_path)
+        summary = summarize_trace(records)
+        check(
+            summary["tests"] == baseline["merged"]["tests"],
+            "trace test count matches the merged campaign signature",
+        )
+        check(
+            set(summary["phases"]) >= {"generate", "parse", "execute"},
+            "shard_finish records carry per-phase timings",
+        )
+        report_a = render_trace_report(records)
+        report_b = render_trace_report(read_trace(trace_path))
+        check(report_a == report_b, "trace report renders deterministically")
+        top = snapshot_from_trace(records)
+        check(
+            top["state"] == "done" and top["tests"] == summary["tests"],
+            "top snapshot reconstructs from the trace",
+        )
+
+    if failures:
+        print(f"[obs-smoke] FAIL: {len(failures)} check(s)", file=sys.stderr)
+        return 1
+    print("[obs-smoke] OK: telemetry is observably on and semantically off")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

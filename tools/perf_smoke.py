@@ -28,12 +28,18 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 from repro.fleet import BugCorpus, FleetConfig, run_fleet
+from repro.obs.phases import format_phase_breakdown
 from repro.perf.bench import bench_payload, measure_depth
 
 DEPTHS = (3, 5, 7)
+
+#: Default artifact location: the repo root, regardless of the cwd the
+#: smoke run was launched from, so CI and local runs update one file.
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 
 def _fleet_signature(config: FleetConfig) -> dict:
@@ -68,7 +74,11 @@ def main(argv: "list[str] | None" = None) -> int:
     parser.add_argument("--tests", type=int, default=400, help="budget per workload gate")
     parser.add_argument("--bench-tests", type=int, default=400, dest="bench_tests")
     parser.add_argument("--seed", type=int, default=17)
-    parser.add_argument("--out", default="BENCH_perf.json", metavar="PATH")
+    parser.add_argument(
+        "--out",
+        default=os.path.join(_REPO_ROOT, "BENCH_perf.json"),
+        metavar="PATH",
+    )
     args = parser.parse_args(argv)
 
     workloads = [
@@ -121,6 +131,9 @@ def main(argv: "list[str] | None" = None) -> int:
             f"hit rate {100 * record['cache_hit_rate']:.1f}%, "
             f"signatures {'identical' if record['signatures_identical'] else 'MISMATCH'})"
         )
+        breakdown = format_phase_breakdown(record["phases"]["cache_on"])
+        if breakdown:
+            print(f"[perf-smoke]   cache-on {breakdown}")
 
     payload = bench_payload(sweep, workloads)
     with open(args.out, "w", encoding="utf-8") as fh:

@@ -1,0 +1,87 @@
+"""trace-check: stdlib validator for ``--trace`` JSONL files.
+
+Validates every line of a trace against :mod:`repro.obs.trace`'s
+event schema -- header fields present and well-typed, schema version
+supported, known events carrying exactly their declared payload
+fields -- and prints one summary line.  Exit 1 on any invalid record,
+so CI can gate trace well-formedness without extra dependencies.
+
+Usage::
+
+    PYTHONPATH=src python tools/trace_check.py RUN.trace.jsonl [...]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.obs.trace import TRACE_SCHEMA_VERSION, validate_record
+
+
+def check_file(path: str) -> tuple[int, int, list[str]]:
+    """Validate one trace file; returns (records, invalid, errors)."""
+    records = 0
+    invalid = 0
+    errors: list[str] = []
+    events: dict[str, int] = {}
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            records += 1
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                invalid += 1
+                errors.append(f"{path}:{lineno}: not JSON: {exc}")
+                continue
+            problem = validate_record(record)
+            if problem is not None:
+                invalid += 1
+                errors.append(f"{path}:{lineno}: {problem}")
+                continue
+            events[record["ev"]] = events.get(record["ev"], 0) + 1
+    by_event = ", ".join(f"{ev}={n}" for ev, n in sorted(events.items()))
+    print(
+        f"[trace-check] {path}: {records} records, {invalid} invalid "
+        f"(schema v{TRACE_SCHEMA_VERSION}; {by_event or 'no events'})"
+    )
+    return records, invalid, errors
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="+", metavar="TRACE.jsonl")
+    parser.add_argument(
+        "--min-records",
+        type=int,
+        default=1,
+        help="fail unless every file holds at least this many records "
+        "(default: 1; an empty trace usually means a wiring bug)",
+    )
+    args = parser.parse_args(argv)
+
+    failed = False
+    for path in args.paths:
+        records, invalid, errors = check_file(path)
+        for error in errors[:20]:
+            print(f"[trace-check]   {error}", file=sys.stderr)
+        if len(errors) > 20:
+            print(
+                f"[trace-check]   ... and {len(errors) - 20} more",
+                file=sys.stderr,
+            )
+        if invalid or records < args.min_records:
+            failed = True
+    if failed:
+        print("[trace-check] FAIL", file=sys.stderr)
+        return 1
+    print("[trace-check] OK: every record validates")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
