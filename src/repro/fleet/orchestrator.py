@@ -108,6 +108,11 @@ class FleetConfig:
     #: cache-on campaigns are bit-identical to cache-off ones (gated by
     #: the perf-smoke CI job); ``coddtest ... --no-cache`` turns it off.
     use_cache: bool = True
+    #: Column-at-a-time expression evaluation in worker engines.  On by
+    #: default for the same reason as ``use_cache``: vector-on campaigns
+    #: are bit-identical to vector-off ones (same perf-smoke gate);
+    #: ``coddtest ... --no-vector`` turns it off.
+    use_vector: bool = True
     #: Structured trace output (``--trace out.jsonl``): workers write
     #: per-shard part files, the orchestrator merges them plus its own
     #: events into one JSONL stream sorted by timestamp.  None traces
@@ -219,6 +224,7 @@ def build_shards(config: FleetConfig) -> list[ShardSpec]:
             max_reports=config.max_reports,
             backend_pair=config.backend_pair,
             use_cache=config.use_cache,
+            use_vector=config.use_vector,
             trace_path=_shard_trace_path(config, i),
         )
         for i in range(config.workers)
@@ -314,6 +320,7 @@ def _run_shard(
         on_progress=on_progress,
         policy=policy,
         cache=cache,
+        vector=spec.use_vector,
         tracer=tracer,
     )
     try:
@@ -697,6 +704,7 @@ def _build_guided_shards(
             saturated_faults=tuple(sorted(saturated)),
             coverage_source=f"{config.seed}:{i}/{config.workers}{epoch}",
             use_cache=config.use_cache,
+            use_vector=config.use_vector,
             trace_path=_shard_trace_path(config, i),
         )
         for i in range(config.workers)
@@ -1144,6 +1152,8 @@ def make_replay_reducer(config: FleetConfig) -> ReduceFn | None:
             )
             if cache is not None:
                 adapter.attach_eval_cache(cache)
+            if config.use_vector:
+                adapter.set_vector_eval(True)
             fired: set[str] = set()
             for sql in stmts:
                 try:

@@ -13,6 +13,7 @@ through their SQL interfaces.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from repro.errors import SqlError, ValueError_
@@ -101,15 +102,31 @@ class Engine:
         #: :class:`repro.perf.cache.CacheStats`); None disables the memo
         #: and keeps the historical evaluation path bit-for-bit.
         self.eval_stats = None
+        #: Column-at-a-time evaluation toggle (see
+        #: :func:`repro.minidb.evaluator.evaluate_vector`).  Off by
+        #: default so a bare Engine keeps the historical scalar path;
+        #: campaigns turn it on and the perf-smoke gate holds the two
+        #: paths bit-identical.
+        self.vector_eval = False
         self._feature_cache: dict[int, dict] = {}
         self._subplan_cache: dict[int, object] = {}
         self._subquery_result_cache: dict[int, Materialized] = {}
         self._correlated_cache: dict[int, bool] = {}
-        #: Per-statement memo of row-independent subtree values and the
-        #: row-independence classification (see repro.minidb.evaluator).
-        self._const_value_cache: dict[int, SqlValue] = {}
+        #: Per-statement memo of row-independent subtree values (keyed by
+        #: (node id, clause, in_subquery) -- clause-conditioned fault
+        #: triggers make the same node context-sensitive) and the
+        #: row-independence / vector-safety classifications
+        #: (see repro.minidb.evaluator).
+        self._const_value_cache: dict[tuple[int, str, bool], SqlValue] = {}
         self._const_class_cache: dict[int, bool] = {}
+        self._vector_class_cache: dict[int, bool] = {}
         self._extra_fingerprints: set[str] = set()
+        #: Cross-statement plan-skeleton memo for FROM-clause planning,
+        #: shared across the O/F oracle pair (the folding oracle never
+        #: rewrites the FROM clause, so the folded query replays the
+        #: original's source planning).  Keyed by (state_version,
+        #: skeleton, cte schemas); see repro.minidb.planner.
+        self._plan_memo: "OrderedDict[tuple, tuple]" = OrderedDict()
 
     # -- hooks used by evaluator/executor/planner ---------------------------
 
@@ -144,6 +161,7 @@ class Engine:
         self._correlated_cache.clear()
         self._const_value_cache.clear()
         self._const_class_cache.clear()
+        self._vector_class_cache.clear()
         self._extra_fingerprints.clear()
         if not isinstance(stmt, A.Select):
             # Conservative: even a statement that then fails bumps the
@@ -195,8 +213,6 @@ class Engine:
         which bugs like the TiDB mis-correlation of paper Section 4.2 can
         live.
         """
-        from dataclasses import replace
-
         key = id(query)
         correlated = self.select_is_correlated(query)
         if not correlated:
@@ -212,7 +228,16 @@ class Engine:
             plan = plan_select(query, self, cte_env)
             self._subplan_cache[key] = plan
             self._extra_fingerprints.add(plan.fingerprint())
-        sub_ctx = replace(ctx, in_subquery=True, depth=ctx.depth + 1)
+        sub_ctx = EvalCtx(
+            ctx.engine,
+            ctx.frame,
+            ctx.clause,
+            ctx.statement,
+            ctx.relations,
+            True,
+            ctx.depth + 1,
+            ctx.flags,
+        )
         if ctx.depth > 40:
             raise ValueError_("subquery nesting too deep")
         mat = execute_select(plan, sub_ctx)  # type: ignore[arg-type]
@@ -298,16 +323,23 @@ class Engine:
 
         from repro.minidb.evaluator import Frame
 
+        # One frame/ctx pair per clause, reused across rows: nothing
+        # retains the frame past each evaluate() call, so mutating
+        # ``frame.row`` is safe and avoids per-row dataclass allocation.
+        frame = Frame(plan_schema, ())
+        where_ctx = ctx.with_frame(frame).with_clause("where")
+        set_ctx = ctx.with_frame(frame).with_clause("set")
+        fire_where = self.faults.has_site("update_where_result")
         new_rows: list[tuple[SqlValue, ...]] = []
         affected = 0
         for row in table.rows:
-            frame = Frame(plan_schema, row, None)
+            frame.row = row
             if stmt.where is not None:
-                verdict = truth(
-                    evaluate(stmt.where, ctx.with_frame(frame).with_clause("where")),
-                    self.mode,
-                )
-                verdict = self.faults.fire("update_where_result", features, verdict)
+                verdict = truth(evaluate(stmt.where, where_ctx), self.mode)
+                if fire_where:
+                    verdict = self.faults.fire(
+                        "update_where_result", features, verdict
+                    )
             else:
                 verdict = True
             if verdict is not True:
@@ -316,7 +348,7 @@ class Engine:
             affected += 1
             updated = list(row)
             for idx, expr in assign_idx:
-                value = evaluate(expr, ctx.with_frame(frame).with_clause("set"))
+                value = evaluate(expr, set_ctx)
                 column = table.columns[idx]
                 value = _coerce_for_column(value, column.declared_type, self.mode)
                 if column.not_null and value is None:
@@ -338,18 +370,19 @@ class Engine:
 
         from repro.minidb.evaluator import Frame
 
+        frame = Frame(plan_schema, ())
+        where_ctx = ctx.with_frame(frame).with_clause("where")
+        fire_where = self.faults.has_site("delete_where_result")
         kept: list[tuple[SqlValue, ...]] = []
         deleted = 0
         for row in table.rows:
             if stmt.where is None:
                 deleted += 1
                 continue
-            frame = Frame(plan_schema, row, None)
-            verdict = truth(
-                evaluate(stmt.where, ctx.with_frame(frame).with_clause("where")),
-                self.mode,
-            )
-            verdict = self.faults.fire("delete_where_result", features, verdict)
+            frame.row = row
+            verdict = truth(evaluate(stmt.where, where_ctx), self.mode)
+            if fire_where:
+                verdict = self.faults.fire("delete_where_result", features, verdict)
             if verdict is True:
                 deleted += 1
             else:

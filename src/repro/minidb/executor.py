@@ -12,10 +12,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
-from repro.errors import SqlError, ValueError_
+from repro.errors import ReproError, SqlError, ValueError_
 from repro.minidb import ast_nodes as A
 from repro.minidb.coverage import register_tags
-from repro.minidb.evaluator import EvalCtx, Frame, evaluate
+from repro.minidb.evaluator import (
+    EvalCtx,
+    Frame,
+    SideEffectSnapshot,
+    evaluate,
+    evaluate_vector,
+    vector_safe,
+)
 from repro.minidb.plan import (
     CteScan,
     JoinPlan,
@@ -70,6 +77,13 @@ register_tags(
 
 Row = tuple[SqlValue, ...]
 
+#: Smallest batch worth vectorizing.  Below this the _VecState setup and
+#: side-effect snapshot cost more than the per-row dispatch they avoid
+#: (fig2 batches are frequently 1-2 rows); the scalar loop is used
+#: instead.  Purely a throughput knob: both paths are observationally
+#: identical, so the threshold never changes campaign signatures.
+_VECTOR_MIN_ROWS = 3
+
 
 @dataclass
 class Materialized:
@@ -115,9 +129,16 @@ def execute_select(plan: SelectPlan, ctx: EvalCtx) -> Materialized:
 
 
 def ctx_with_relations(ctx: EvalCtx, relations: dict) -> EvalCtx:
-    from dataclasses import replace
-
-    return replace(ctx, relations=relations)
+    return EvalCtx(
+        ctx.engine,
+        ctx.frame,
+        ctx.clause,
+        ctx.statement,
+        relations,
+        ctx.in_subquery,
+        ctx.depth,
+        ctx.flags,
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -194,17 +215,56 @@ def _filter_rows(
         "DELETE": "delete_where_result",
         "INSERT_SELECT": "where_result",
     }.get(ctx.statement, "where_result")
-    fire_features = dict(features)
-    fire_features.update(ctx.flags)
-    fire_features["statement"] = ctx.statement
-    fire_features["clause"] = "where"
-    fire_features["in_subquery"] = ctx.in_subquery
-    kept: list[Row] = []
-    where_ctx = ctx.with_clause("where")
+    fire = engine.faults.has_site(site)
+    fire_features: dict | None = None
+    if fire:
+        fire_features = dict(features)
+        fire_features.update(ctx.flags)
+        fire_features["statement"] = ctx.statement
+        fire_features["clause"] = "where"
+        fire_features["in_subquery"] = ctx.in_subquery
+    mode = engine.mode
+
+    if (
+        engine.vector_eval
+        and len(rows) >= _VECTOR_MIN_ROWS
+        and vector_safe(where, engine)
+    ):
+        # Speculative: any engine error during the batch (row-dependent
+        # type errors, injected crash faults) aborts with different
+        # partial side effects than the row-major scalar loop, so roll
+        # back and let the scalar loop below be the authority.
+        snap = SideEffectSnapshot(engine)
+        try:
+            template = Frame(schema, (), ctx.frame)
+            verdicts = evaluate_vector(
+                where, rows, ctx.with_clause("where").with_frame(template)
+            )
+            kept: list[Row] = []
+            for row, value in zip(rows, verdicts):
+                verdict = truth(value, mode)
+                if fire:
+                    verdict = engine.faults.fire(site, fire_features, verdict)
+                if verdict is True:
+                    engine.cov("exec.filter.keep")
+                    kept.append(row)
+                else:
+                    engine.cov("exec.filter.drop")
+            return kept
+        except ReproError:
+            snap.rollback()
+
+    kept = []
+    # One frame/ctx pair reused across rows: nothing retains the frame
+    # past each evaluate() call, so mutating ``frame.row`` is safe and
+    # avoids two dataclass allocations per row.
+    frame = Frame(schema, (), ctx.frame)
+    where_ctx = ctx.with_clause("where").with_frame(frame)
     for row in rows:
-        frame = Frame(schema, row, ctx.frame)
-        verdict = truth(evaluate(where, where_ctx.with_frame(frame)), engine.mode)
-        verdict = engine.faults.fire(site, fire_features, verdict)
+        frame.row = row
+        verdict = truth(evaluate(where, where_ctx), mode)
+        if fire:
+            verdict = engine.faults.fire(site, fire_features, verdict)
         if verdict is True:
             engine.cov("exec.filter.keep")
             kept.append(row)
@@ -218,29 +278,117 @@ def _execute_projection(
 ) -> tuple[list[Row], list[Frame]]:
     engine = ctx.engine
     engine.cov("exec.project")
+    # Per-row frames are only ever consumed by non-positional ORDER BY
+    # (via _CoreResult.frames); skip building them otherwise.
+    need_frames = bool(plan.order_by)
+    fire = engine.faults.has_site("fetch_value")
+    if fire:
+        item_features: list[dict | None] = [
+            {
+                **item.features,
+                "statement": ctx.statement,
+                "clause": "fetch",
+                "in_subquery": ctx.in_subquery,
+            }
+            for item in plan.items
+        ]
+    else:
+        item_features = [None] * len(plan.items)
+
+    if (
+        engine.vector_eval
+        and len(rows) >= _VECTOR_MIN_ROWS
+        and any(vector_safe(item.expr, engine) for item in plan.items)
+    ):
+        result = _vector_projection(
+            plan, schema, rows, ctx, fire, item_features, need_frames
+        )
+        if result is not None:
+            return result
+
     fetch_ctx = ctx.with_clause("fetch")
     out: list[Row] = []
     frames: list[Frame] = []
+    if need_frames:
+        for row in rows:
+            frame = Frame(schema, row, ctx.frame)
+            item_ctx = fetch_ctx.with_frame(frame)
+            values = []
+            for item, feats in zip(plan.items, item_features):
+                value = evaluate(item.expr, item_ctx)
+                if fire:
+                    value = engine.faults.fire("fetch_value", feats, value)
+                values.append(value)
+            out.append(tuple(values))
+            frames.append(frame)
+        return out, frames
+    frame = Frame(schema, (), ctx.frame)
+    item_ctx = fetch_ctx.with_frame(frame)
     for row in rows:
-        frame = Frame(schema, row, ctx.frame)
-        item_ctx = fetch_ctx.with_frame(frame)
+        frame.row = row
         values = []
-        for item in plan.items:
+        for item, feats in zip(plan.items, item_features):
             value = evaluate(item.expr, item_ctx)
-            value = engine.faults.fire(
-                "fetch_value",
-                {
-                    **item.features,
-                    "statement": ctx.statement,
-                    "clause": "fetch",
-                    "in_subquery": ctx.in_subquery,
-                },
-                value,
-            )
+            if fire:
+                value = engine.faults.fire("fetch_value", feats, value)
             values.append(value)
         out.append(tuple(values))
-        frames.append(frame)
     return out, frames
+
+
+def _vector_projection(
+    plan: SelectPlan,
+    schema: Schema,
+    rows: list[Row],
+    ctx: EvalCtx,
+    fire: bool,
+    item_features: list[dict | None],
+    need_frames: bool,
+) -> tuple[list[Row], list[Frame]] | None:
+    """Column-at-a-time projection; None on rollback (caller re-runs
+    the scalar loop).  Vector-safe items evaluate as whole columns;
+    the rest (correlated subqueries, variadic MIN/MAX) evaluate per
+    row against the same frames."""
+    engine = ctx.engine
+    snap = SideEffectSnapshot(engine)
+    try:
+        fetch_ctx = ctx.with_clause("fetch")
+        template = Frame(schema, (), ctx.frame)
+        vec_ctx = fetch_ctx.with_frame(template)
+        frames: list[Frame] = []
+        if need_frames:
+            frames = [Frame(schema, row, ctx.frame) for row in rows]
+        scalar_ctx = None
+        columns: list[list[SqlValue]] = []
+        for item in plan.items:
+            if vector_safe(item.expr, engine):
+                columns.append(evaluate_vector(item.expr, rows, vec_ctx))
+                continue
+            col: list[SqlValue] = []
+            if need_frames:
+                for frame in frames:
+                    col.append(evaluate(item.expr, fetch_ctx.with_frame(frame)))
+            else:
+                if scalar_ctx is None:
+                    scalar_frame = Frame(schema, (), ctx.frame)
+                    scalar_ctx = fetch_ctx.with_frame(scalar_frame)
+                for row in rows:
+                    scalar_ctx.frame.row = row
+                    col.append(evaluate(item.expr, scalar_ctx))
+            columns.append(col)
+        out: list[Row] = []
+        for k in range(len(rows)):
+            values = []
+            for col, feats in zip(columns, item_features):
+                value = col[k]
+                if fire:
+                    value = engine.faults.fire("fetch_value", feats, value)
+                values.append(value)
+            out.append(tuple(values))
+        return out, frames
+    except ReproError:
+        snap.rollback()
+        return None
 
 
 def _execute_grouped(
@@ -252,13 +400,27 @@ def _execute_grouped(
     groups: list[list[Row]]
     if plan.group_by:
         key_ctx = ctx.with_clause("group_by")
+        keys: list[tuple] | None = None
+        if (
+            engine.vector_eval
+            and len(rows) >= _VECTOR_MIN_ROWS
+            and all(vector_safe(e, engine) for e in plan.group_by)
+        ):
+            keys = _vector_group_keys(plan.group_by, schema, rows, key_ctx)
+        if keys is None:
+            frame = Frame(schema, (), ctx.frame)
+            row_ctx = key_ctx.with_frame(frame)
+            keys = []
+            for row in rows:
+                frame.row = row
+                keys.append(
+                    tuple(
+                        row_sort_key((evaluate(e, row_ctx),))
+                        for e in plan.group_by
+                    )
+                )
         keyed: dict[tuple, list[Row]] = {}
-        for row in rows:
-            frame = Frame(schema, row, ctx.frame)
-            key = tuple(
-                row_sort_key((evaluate(e, key_ctx.with_frame(frame)),))
-                for e in plan.group_by
-            )
+        for row, key in zip(rows, keys):
             keyed.setdefault(key, []).append(row)
         groups = list(keyed.values())
         if not rows:
@@ -281,47 +443,79 @@ def _execute_grouped(
     out: list[Row] = []
     frames: list[Frame] = []
     width = len(schema)
+    fire_having = engine.faults.has_site("having_result")
+    having_features: dict | None = None
+    if fire_having and plan.having is not None:
+        having_features = {
+            **plan.having_features,
+            **ctx.flags,
+            "statement": ctx.statement,
+            "clause": "having",
+            "in_subquery": ctx.in_subquery,
+        }
+    fire_fetch = engine.faults.has_site("fetch_value")
+    if fire_fetch:
+        item_features: list[dict | None] = [
+            {
+                **item.features,
+                "statement": ctx.statement,
+                "clause": "fetch",
+                "in_subquery": ctx.in_subquery,
+            }
+            for item in plan.items
+        ]
+    else:
+        item_features = [None] * len(plan.items)
+    having_ctx = ctx.with_clause("having")
+    fetch_ctx = ctx.with_clause("fetch")
     for group in groups:
         rep = group[0] if group else tuple([None] * width)
+        # One fresh frame per *group* (retained in ``frames``), not per
+        # row -- the group's rows are carried via ``group_rows``.
         frame = Frame(schema, rep, ctx.frame, group_rows=group)
         if plan.having is not None:
             verdict = truth(
-                evaluate(plan.having, ctx.with_frame(frame).with_clause("having")),
+                evaluate(plan.having, having_ctx.with_frame(frame)),
                 engine.mode,
             )
-            verdict = engine.faults.fire(
-                "having_result",
-                {
-                    **plan.having_features,
-                    **ctx.flags,
-                    "statement": ctx.statement,
-                    "clause": "having",
-                    "in_subquery": ctx.in_subquery,
-                },
-                verdict,
-            )
+            if fire_having:
+                verdict = engine.faults.fire(
+                    "having_result", having_features, verdict
+                )
             if verdict is not True:
                 engine.cov("exec.having.drop")
                 continue
             engine.cov("exec.having.keep")
-        item_ctx = ctx.with_frame(frame).with_clause("fetch")
+        item_ctx = fetch_ctx.with_frame(frame)
         values = []
-        for item in plan.items:
+        for item, feats in zip(plan.items, item_features):
             value = evaluate(item.expr, item_ctx)
-            value = engine.faults.fire(
-                "fetch_value",
-                {
-                    **item.features,
-                    "statement": ctx.statement,
-                    "clause": "fetch",
-                    "in_subquery": ctx.in_subquery,
-                },
-                value,
-            )
+            if fire_fetch:
+                value = engine.faults.fire("fetch_value", feats, value)
             values.append(value)
         out.append(tuple(values))
         frames.append(frame)
     return out, frames
+
+
+def _vector_group_keys(
+    exprs: tuple[A.Expr, ...], schema: Schema, rows: list[Row], key_ctx: EvalCtx
+) -> list[tuple] | None:
+    """Grouping keys column-at-a-time; None on rollback (caller re-runs
+    the scalar key loop)."""
+    engine = key_ctx.engine
+    snap = SideEffectSnapshot(engine)
+    try:
+        template = Frame(schema, (), key_ctx.frame)
+        vec_ctx = key_ctx.with_frame(template)
+        cols = [evaluate_vector(e, rows, vec_ctx) for e in exprs]
+        return [
+            tuple(row_sort_key((col[k],)) for col in cols)
+            for k in range(len(rows))
+        ]
+    except ReproError:
+        snap.rollback()
+        return None
 
 
 def _distinct(
@@ -401,25 +595,29 @@ def _execute_join(join: JoinPlan, ctx: EvalCtx) -> tuple[Schema, list[Row]]:
     left_width = len(left_schema)
     right_width = len(right_schema)
 
+    # Frame/ctx/features hoisted out of the nested loops; the frame is
+    # reused by mutating ``row`` (nothing retains it past evaluate()).
+    fire_on = join.on is not None and engine.faults.has_site("join_on_result")
+    on_features: dict | None = None
+    if fire_on:
+        on_features = {
+            **join.on_features,
+            **ctx.flags,
+            "statement": ctx.statement,
+            "clause": "join_on",
+            "in_subquery": ctx.in_subquery,
+        }
+    on_frame = Frame(schema, (), ctx.frame)
+    on_ctx = ctx.with_frame(on_frame).with_clause("join_on")
+    mode = engine.mode
+
     def on_matches(combined: Row) -> bool:
         if join.on is None:
             return True
-        frame = Frame(schema, combined, ctx.frame)
-        verdict = truth(
-            evaluate(join.on, ctx.with_frame(frame).with_clause("join_on")),
-            engine.mode,
-        )
-        verdict = engine.faults.fire(
-            "join_on_result",
-            {
-                **join.on_features,
-                **ctx.flags,
-                "statement": ctx.statement,
-                "clause": "join_on",
-                "in_subquery": ctx.in_subquery,
-            },
-            verdict,
-        )
+        on_frame.row = combined
+        verdict = truth(evaluate(join.on, on_ctx), mode)
+        if fire_on:
+            verdict = engine.faults.fire("join_on_result", on_features, verdict)
         return verdict is True
 
     rows: list[Row] = []

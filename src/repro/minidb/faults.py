@@ -177,6 +177,13 @@ class FaultInjector:
                 value = fault.apply_effect(value)
         return value
 
+    def has_site(self, site: str) -> bool:
+        """Whether any fault listens at *site*.  Hot paths check this
+        before building the site-feature dict: with an empty catalog (the
+        common faults-off campaign) the dict would be constructed per row
+        only for :meth:`fire` to discard it."""
+        return bool(self._by_site.get(site))
+
     @property
     def empty(self) -> bool:
         return not self.faults

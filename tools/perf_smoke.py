@@ -1,23 +1,28 @@
-"""perf-smoke: the blocking CI gate for the evaluation-cache contract.
+"""perf-smoke: the blocking CI gate for the perf-layer contract.
 
 Two duties:
 
 1. **Correctness gate** -- run fixed-seed campaigns over every cached
    code path (single-engine hunt with injected faults, cross-backend
-   differential, plan-coverage-guided fleet) twice, cache-on and
-   cache-off, and fail (exit 1) unless each pair produced identical
-   deterministic campaign signatures, corpus fingerprints, and guided
-   arm schedules.  This is the bit-identity promise of
-   :mod:`repro.perf`, checked end to end on every push.
+   differential, plan-coverage-guided fleet) three ways -- cache-on
+   with vectorized evaluation, cache-on scalar, and cache-off -- and
+   fail (exit 1) unless every mode produced identical deterministic
+   campaign signatures, corpus fingerprints, and guided arm schedules.
+   This is the bit-identity promise of :mod:`repro.perf`, checked end
+   to end on every push.
 2. **Bench artifact** -- sweep the fig2 workload over MaxDepth 3/5/7
-   cache-off vs cache-on and write ``BENCH_perf.json``
+   in all three modes and write ``BENCH_perf.json``
    (:mod:`repro.perf.bench` schema) with tests/sec, speedup, and hit
-   rates, which CI uploads so the perf trajectory is machine-readable
-   per commit.
+   rates.  Each run *appends* a per-commit record to the ``history``
+   trajectory carried in the file, so the perf trajectory is
+   machine-readable across commits, not just for the latest one.
 
-Only the signature checks gate: speedups are recorded, not asserted,
-because shared CI hardware is noisy (benchmarks/test_cache_speedup.py
-asserts the speedup shape on quieter boxes).
+The signature checks always gate.  Of the speedups, only the
+vector-vs-scalar ratio at MaxDepth >= 5 gates (it is a same-process
+A/B, so CI noise largely cancels); absolute cache speedups are
+recorded, not asserted, because shared CI hardware is noisy
+(benchmarks/test_cache_speedup.py asserts the speedup shape on
+quieter boxes).
 
 Usage::
 
@@ -29,7 +34,9 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import subprocess
 import sys
+import time
 
 from repro.fleet import BugCorpus, FleetConfig, run_fleet
 from repro.obs.phases import format_phase_breakdown
@@ -37,9 +44,22 @@ from repro.perf.bench import bench_payload, measure_depth
 
 DEPTHS = (3, 5, 7)
 
+#: Keep at most this many per-commit records in the BENCH_perf.json
+#: ``history`` trajectory (oldest dropped first).
+_HISTORY_CAP = 200
+
 #: Default artifact location: the repo root, regardless of the cwd the
 #: smoke run was launched from, so CI and local runs update one file.
 _REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: The gated workload modes: (label, use_cache, use_vector).  The first
+#: entry is the production configuration; the others are the references
+#: it must bit-match.
+_MODES = (
+    ("cache+vector", True, True),
+    ("cache", True, False),
+    ("off", False, False),
+)
 
 
 def _fleet_signature(config: FleetConfig) -> dict:
@@ -55,18 +75,79 @@ def _fleet_signature(config: FleetConfig) -> dict:
 
 
 def _gate(name: str, make_config) -> dict:
-    on = _fleet_signature(make_config(True))
-    off = _fleet_signature(make_config(False))
-    identical = on == off
+    """Run one workload in every perf mode and require identical
+    signatures.  *make_config* takes ``(use_cache, use_vector)``."""
+    signatures = {
+        label: _fleet_signature(make_config(cache, vector))
+        for label, cache, vector in _MODES
+    }
+    reference_label, _, _ = _MODES[-1]
+    reference = signatures[reference_label]
+    identical = all(sig == reference for sig in signatures.values())
     status = "identical" if identical else "MISMATCH"
-    print(f"[perf-smoke] {name:20s} cache-on vs cache-off: {status}")
+    print(f"[perf-smoke] {name:20s} cache+vector vs cache vs off: {status}")
     if not identical:
-        for key in on:
-            if on[key] != off[key]:
-                print(f"  differs in {key!r}:")
-                print(f"    on : {str(on[key])[:300]}")
-                print(f"    off: {str(off[key])[:300]}")
+        for label, sig in signatures.items():
+            for key in sig:
+                if sig[key] != reference[key]:
+                    print(f"  {label} differs from off in {key!r}:")
+                    print(f"    {label}: {str(sig[key])[:300]}")
+                    print(f"    off: {str(reference[key])[:300]}")
     return {"name": name, "identical": identical}
+
+
+def _git_commit() -> str:
+    """Short hash of HEAD, or "unknown" outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=_REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except OSError:
+        return "unknown"
+    return out.stdout.strip() or "unknown"
+
+
+def _history_record(payload: dict) -> dict:
+    """Compact per-commit summary appended to the trajectory."""
+    return {
+        "commit": _git_commit(),
+        "timestamp": int(time.time()),
+        "schema_version": payload["schema_version"],
+        "min_speedup_at_depth_ge_5": payload["min_speedup_at_depth_ge_5"],
+        "min_vector_speedup_at_depth_ge_5": payload[
+            "min_vector_speedup_at_depth_ge_5"
+        ],
+        "all_signatures_identical": payload["all_signatures_identical"],
+        "sweep": [
+            {
+                "max_depth": r["max_depth"],
+                "tests_per_second_cache_off": r["tests_per_second_cache_off"],
+                "tests_per_second_vector_off": r.get(
+                    "tests_per_second_vector_off"
+                ),
+                "tests_per_second_cache_on": r["tests_per_second_cache_on"],
+                "speedup": r["speedup"],
+                "vector_speedup": r.get("vector_speedup"),
+            }
+            for r in payload["maxdepth_sweep"]
+        ],
+    }
+
+
+def _load_history(path: str) -> list:
+    """Prior trajectory from an existing artifact (tolerates the pre-
+    trajectory layout and a missing or corrupt file)."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            previous = json.load(fh)
+    except (OSError, ValueError):
+        return []
+    history = previous.get("history", [])
+    return history if isinstance(history, list) else []
 
 
 def main(argv: "list[str] | None" = None) -> int:
@@ -84,18 +165,19 @@ def main(argv: "list[str] | None" = None) -> int:
     workloads = [
         _gate(
             "hunt (buggy)",
-            lambda cache: FleetConfig(
+            lambda cache, vector: FleetConfig(
                 oracle="coddtest",
                 buggy=True,
                 workers=2,
                 seed=args.seed,
                 n_tests=args.tests,
                 use_cache=cache,
+                use_vector=vector,
             ),
         ),
         _gate(
             "diff minidb/sqlite3",
-            lambda cache: FleetConfig(
+            lambda cache, vector: FleetConfig(
                 oracle="differential",
                 backend_pair=("minidb", "sqlite3"),
                 buggy=True,
@@ -103,11 +185,12 @@ def main(argv: "list[str] | None" = None) -> int:
                 seed=args.seed,
                 n_tests=max(100, args.tests // 2),
                 use_cache=cache,
+                use_vector=vector,
             ),
         ),
         _gate(
             "guided fleet",
-            lambda cache: FleetConfig(
+            lambda cache, vector: FleetConfig(
                 oracle="coddtest",
                 buggy=True,
                 workers=2,
@@ -115,6 +198,7 @@ def main(argv: "list[str] | None" = None) -> int:
                 n_tests=args.tests,
                 guidance="plan-coverage",
                 use_cache=cache,
+                use_vector=vector,
             ),
         ),
     ]
@@ -126,8 +210,10 @@ def main(argv: "list[str] | None" = None) -> int:
         print(
             f"[perf-smoke] fig2 MaxDepth {depth}: "
             f"{record['tests_per_second_cache_off']:.0f} -> "
+            f"{record['tests_per_second_vector_off']:.0f} -> "
             f"{record['tests_per_second_cache_on']:.0f} tests/s "
-            f"(speedup {record['speedup']:.2f}x, "
+            f"(cache {record['speedup']:.2f}x, "
+            f"vector {record['vector_speedup']:.2f}x, "
             f"hit rate {100 * record['cache_hit_rate']:.1f}%, "
             f"signatures {'identical' if record['signatures_identical'] else 'MISMATCH'})"
         )
@@ -136,19 +222,39 @@ def main(argv: "list[str] | None" = None) -> int:
             print(f"[perf-smoke]   cache-on {breakdown}")
 
     payload = bench_payload(sweep, workloads)
+    history = _load_history(args.out)
+    history.append(_history_record(payload))
+    payload["history"] = history[-_HISTORY_CAP:]
     with open(args.out, "w", encoding="utf-8") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)
         fh.write("\n")
-    print(f"[perf-smoke] wrote {args.out}")
+    print(
+        f"[perf-smoke] wrote {args.out} "
+        f"({len(payload['history'])} history record(s))"
+    )
 
+    failed = False
     if not payload["all_signatures_identical"]:
         print(
-            "[perf-smoke] FAIL: cache-on campaign is not bit-identical "
-            "to cache-off",
+            "[perf-smoke] FAIL: perf modes are not bit-identical "
+            "(cache+vector vs cache vs off)",
             file=sys.stderr,
         )
+        failed = True
+    min_vector = payload["min_vector_speedup_at_depth_ge_5"]
+    if min_vector is not None and min_vector < 1.0:
+        print(
+            f"[perf-smoke] FAIL: vector path is a slowdown at "
+            f"MaxDepth >= 5 ({min_vector:.3f}x vs scalar)",
+            file=sys.stderr,
+        )
+        failed = True
+    if failed:
         return 1
-    print("[perf-smoke] OK: every cached path is bit-identical to uncached")
+    print(
+        "[perf-smoke] OK: every perf mode is bit-identical and the "
+        "vector path pays for itself"
+    )
     return 0
 
 
