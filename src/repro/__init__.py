@@ -13,6 +13,16 @@ the package-layer map and the seed-to-triage-table data flow.
 """
 
 from repro.adapters import MiniDBAdapter, Sqlite3Adapter
+from repro.backends import (
+    BackendInfo,
+    CapabilityVector,
+    available_backend_names,
+    backend_names,
+    build_backend,
+    pair_policy,
+    probe_backend,
+    register_backend,
+)
 from repro.baselines import DQEOracle, EETOracle, NoRECOracle, TLPOracle
 from repro.core import CoddTestOracle
 from repro.dialects import ALL_FAULTS, LOGIC_FAULTS, get_dialect, make_engine
@@ -64,6 +74,14 @@ __all__ = [
     "CompatPolicy",
     "build_pair_adapter",
     "run_differential_campaign",
+    "BackendInfo",
+    "CapabilityVector",
+    "available_backend_names",
+    "backend_names",
+    "build_backend",
+    "pair_policy",
+    "probe_backend",
+    "register_backend",
     "Oracle",
     "TestOutcome",
     "TestReport",

@@ -1,0 +1,134 @@
+"""Adapter for DuckDB via the optional ``duckdb`` package.
+
+A second *real* DBMS behind the adapter protocol: with it installed,
+the registry's ``duckdb`` backend becomes available and any registered
+pair -- ``(minidb, duckdb)``, ``(duckdb, sqlite3)`` -- forms a
+differential oracle whose compat policy is derived from probed
+capability vectors, with no hand-written dialect rules.
+
+Import-gated: this module imports ``duckdb`` unconditionally and is
+itself imported only from the registry factory, *after*
+:func:`repro.backends.builtin` has probed availability with
+``importlib.util.find_spec`` -- environments without the package never
+load it.
+"""
+
+from __future__ import annotations
+
+import re
+
+import duckdb
+
+from repro.adapters.base import (
+    ColumnInfo,
+    EngineAdapter,
+    ExecResult,
+    SchemaInfo,
+    TableInfo,
+)
+from repro.adapters.sql_text import is_row_returning
+from repro.errors import SqlError
+from repro.minidb.catalog import resolve_type_name
+
+
+class DuckDBAdapter(EngineAdapter):
+    """In-memory DuckDB database behind the adapter protocol."""
+
+    name = "duckdb"
+    # Class-level defaults only; the differential layer trusts the
+    # probed capability vector, not these flags.
+    supports_any_all = True
+    strict_typing = True
+
+    def __init__(self) -> None:
+        self._conn = duckdb.connect(":memory:")
+
+    def execute(self, sql: str) -> ExecResult:
+        prof = self._profiler
+        if prof is None:
+            return self._execute(sql)
+        # DuckDB parses internally, so the whole round trip counts as
+        # the execute phase (same accounting as the sqlite3 adapter).
+        t0 = prof.begin()
+        try:
+            return self._execute(sql)
+        finally:
+            prof.end("execute", t0)
+
+    def _execute(self, sql: str) -> ExecResult:
+        row_returning = is_row_returning(sql)
+        fingerprint = None
+        try:
+            if row_returning:
+                fingerprint = self._explain(sql)
+            cursor = self._conn.execute(sql)
+            if row_returning:
+                rows = [
+                    tuple(self._convert(v) for v in row)
+                    for row in cursor.fetchall()
+                ]
+                columns = (
+                    [d[0] for d in cursor.description]
+                    if cursor.description
+                    else []
+                )
+            else:
+                # DML surfaces its affected-row count as a result row;
+                # fetching it here would masquerade as query output.
+                rows, columns = [], []
+            return ExecResult(
+                columns=columns,
+                rows=rows,
+                plan_fingerprint=fingerprint,
+                rows_affected=max(getattr(cursor, "rowcount", -1), 0),
+            )
+        except duckdb.Error as exc:  # expected-error surface of a real DBMS
+            raise SqlError(str(exc)) from exc
+
+    def _explain(self, sql: str) -> "str | None":
+        try:
+            plan_rows = self._conn.execute("EXPLAIN " + sql).fetchall()
+        except duckdb.Error:
+            return None
+        details = [str(r[-1]) for r in plan_rows]
+        # Strip literals so the fingerprint captures plan shape only.
+        cleaned = [re.sub(r"[0-9]+", "#", d) for d in details]
+        return ";".join(cleaned)
+
+    @staticmethod
+    def _convert(value):
+        if isinstance(value, bool):
+            # MiniDB and SQLite render booleans as 0/1.
+            return int(value)
+        if isinstance(value, bytes):
+            return value.decode("utf-8", "replace")
+        return value
+
+    def schema(self) -> SchemaInfo:
+        info = SchemaInfo()
+        objects = self._conn.execute(
+            "SELECT table_name, table_type FROM information_schema.tables "
+            "WHERE table_schema = 'main' ORDER BY table_name"
+        ).fetchall()
+        for name, table_type in objects:
+            cols = self._conn.execute(
+                "SELECT column_name, data_type FROM "
+                "information_schema.columns WHERE table_schema = 'main' "
+                "AND table_name = ? ORDER BY ordinal_position",
+                [name],
+            ).fetchall()
+            columns = tuple(
+                ColumnInfo(c[0], resolve_type_name(c[1] or None))
+                for c in cols
+            )
+            kind = "view" if str(table_type).upper() == "VIEW" else "table"
+            info.tables.append(TableInfo(name, columns, kind=kind))
+        indexes = self._conn.execute(
+            "SELECT index_name FROM duckdb_indexes() ORDER BY index_name"
+        ).fetchall()
+        info.indexes = [r[0] for r in indexes]
+        return info
+
+    def reset(self) -> None:
+        self._conn.close()
+        self._conn = duckdb.connect(":memory:")

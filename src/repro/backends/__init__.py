@@ -1,0 +1,74 @@
+"""Pluggable DBMS backends: registry + automatic capability probing.
+
+Two layers:
+
+* :mod:`repro.backends.registry` -- short-name -> adapter-factory
+  registry with built-in and ``coddtest.backends`` entry-point
+  discovery; :func:`build_backend` is the one place backend names
+  resolve (the CLI, the fleet, and triage replay all route here).
+* :mod:`repro.backends.probe` -- the canned feature-probe program set,
+  disk-cached :class:`CapabilityVector` per backend build, and the
+  probe-*derived* :class:`~repro.differential.compat.CompatPolicy`
+  (the hand-written ``(minidb, sqlite3)`` intersection is reproduced
+  exactly; enforced by test and the ``backend-smoke`` CI gate).
+
+``coddtest backends list|probe`` is the CLI surface.
+"""
+
+from __future__ import annotations
+
+from repro.backends.probe import (
+    CACHE_DIR_ENV,
+    PROBE_PROGRAMS,
+    PROBE_SET_DIGEST,
+    CapabilityVector,
+    ProbeProgram,
+    caps_from_vector,
+    clear_probe_memo,
+    derive_policy,
+    pair_policy,
+    probe_backend,
+    run_probes,
+    vector_cache_path,
+)
+from repro.backends.registry import (
+    ENTRY_POINT_GROUP,
+    BackendInfo,
+    BackendUnavailable,
+    all_backends,
+    available_backend_names,
+    backend_names,
+    build_backend,
+    discovery_errors,
+    ensure_discovered,
+    get_backend,
+    register_backend,
+    unregister_backend,
+)
+
+__all__ = [
+    "BackendInfo",
+    "BackendUnavailable",
+    "CACHE_DIR_ENV",
+    "CapabilityVector",
+    "ENTRY_POINT_GROUP",
+    "PROBE_PROGRAMS",
+    "PROBE_SET_DIGEST",
+    "ProbeProgram",
+    "all_backends",
+    "available_backend_names",
+    "backend_names",
+    "build_backend",
+    "caps_from_vector",
+    "clear_probe_memo",
+    "derive_policy",
+    "discovery_errors",
+    "ensure_discovered",
+    "get_backend",
+    "pair_policy",
+    "probe_backend",
+    "register_backend",
+    "run_probes",
+    "unregister_backend",
+    "vector_cache_path",
+]

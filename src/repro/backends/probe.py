@@ -1,0 +1,413 @@
+"""Automatic capability probing: derive the dialect intersection.
+
+Instead of hand-maintaining a :class:`~repro.differential.compat.
+BackendCaps` entry per backend, each backend runs a canned, seeded
+feature-probe program set once -- quantified comparisons, FULL JOIN,
+``VERSION()``, ``TYPEOF()`` type-name rendering, typed casts, division
+semantics, NULL ordering, collation, scalar-subquery cardinality --
+and the recorded outcomes form a serializable :class:`CapabilityVector`.
+Pair policies are then *derived*: per-backend flags come straight from
+probe success/failure, and cross-backend rules (skip ``TYPEOF()``,
+rewrite ``VERSION()`` to a literal) come from comparing the recorded
+values of probes both backends execute successfully.
+
+Determinism guarantee: every probe program is a fixed constant query
+over a fixed two-row state, all engines involved are deterministic, and
+the JSON serialization sorts keys -- probing the same backend build
+twice yields a byte-identical vector.  Vectors are cached in-process
+per ``(backend, dialect, version, probe set)`` and, when a cache
+directory is given, on disk keyed by backend name + version string (a
+backend whose behaviour can change must change its version string; the
+probe-set digest also keys the file, so editing the programs
+invalidates stale vectors).
+
+The derived ``(minidb, sqlite3)`` policy reproduces the hand-written
+intersection exactly -- enforced by
+``tests/backends/test_derived_policy.py`` and the ``backend-smoke`` CI
+gate -- so the 0-false-positive guarantee of the differential oracle
+carries over unchanged.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import re
+from dataclasses import dataclass
+
+from repro.backends.registry import (
+    BackendInfo,
+    BackendUnavailable,
+    get_backend,
+)
+from repro.differential.compat import BackendCaps, CompatPolicy
+from repro.errors import ReproError
+from repro.minidb.functions import ENGINE_VERSION
+
+
+@dataclass(frozen=True)
+class ProbeProgram:
+    """One feature probe: a fixed setup prefix plus one query.
+
+    ``ordered=True`` records result rows in arrival order (the probe is
+    *about* ordering); otherwise rows are sorted so the recorded value
+    is insensitive to harmless row-order differences between engines.
+    """
+
+    probe_id: str
+    query: str
+    setup: tuple[str, ...] = ()
+    ordered: bool = False
+
+
+_TWO_ROWS = (
+    "CREATE TABLE cap_t (c0 INTEGER)",
+    "INSERT INTO cap_t VALUES (1), (2)",
+)
+
+#: The canned probe set.  Append-only by convention: editing a program
+#: changes :data:`PROBE_SET_DIGEST` and invalidates every cached vector.
+PROBE_PROGRAMS: tuple[ProbeProgram, ...] = (
+    ProbeProgram(
+        "quantified_any",
+        "SELECT c0 FROM cap_t WHERE c0 = ANY (SELECT c0 FROM cap_t)",
+        _TWO_ROWS,
+    ),
+    ProbeProgram(
+        "quantified_all",
+        "SELECT c0 FROM cap_t WHERE c0 >= ALL (SELECT c0 FROM cap_t)",
+        _TWO_ROWS,
+    ),
+    ProbeProgram(
+        "full_outer_join",
+        "SELECT cap_t.c0, cap_u.c0 FROM cap_t "
+        "FULL OUTER JOIN cap_u ON cap_t.c0 = cap_u.c0",
+        _TWO_ROWS
+        + (
+            "CREATE TABLE cap_u (c0 INTEGER)",
+            "INSERT INTO cap_u VALUES (2), (3)",
+        ),
+    ),
+    ProbeProgram("version_fn", "SELECT VERSION()"),
+    ProbeProgram(
+        "typeof_scalar",
+        "SELECT TYPEOF(1), TYPEOF(1.5), TYPEOF('x'), TYPEOF(NULL)",
+    ),
+    ProbeProgram("typeof_comparison", "SELECT TYPEOF(1 = 1)"),
+    ProbeProgram("cast_text_prefix", "SELECT CAST('12abc' AS INTEGER)"),
+    ProbeProgram("integer_division", "SELECT 7 / 2"),
+    ProbeProgram("division_by_zero", "SELECT 1 / 0"),
+    ProbeProgram(
+        "null_ordering",
+        "SELECT c0 FROM cap_n ORDER BY c0",
+        (
+            "CREATE TABLE cap_n (c0 INTEGER)",
+            "INSERT INTO cap_n VALUES (1), (NULL)",
+        ),
+        ordered=True,
+    ),
+    ProbeProgram("collation_case", "SELECT 'a' < 'B'"),
+    ProbeProgram(
+        "scalar_subquery_multi_row",
+        "SELECT (SELECT c0 FROM cap_t)",
+        _TWO_ROWS,
+    ),
+    ProbeProgram("string_concat", "SELECT 'a' || 'b'"),
+)
+
+
+def _probe_set_digest() -> str:
+    payload = "\n".join(
+        f"{p.probe_id}|{p.ordered}|{'; '.join(p.setup)}|{p.query}"
+        for p in PROBE_PROGRAMS
+    )
+    return hashlib.blake2b(payload.encode(), digest_size=8).hexdigest()
+
+
+#: Digest of the program set; part of every cache key.
+PROBE_SET_DIGEST = _probe_set_digest()
+
+
+def _encode_cell(value):
+    """JSON-safe, engine-neutral cell encoding.
+
+    Booleans collapse to integers: a backend returning ``True`` where
+    another returns ``1`` agrees semantically (the comparison the
+    differential oracle's ``canonical()`` also makes).
+    """
+    if isinstance(value, bool):
+        return int(value)
+    if value is None or isinstance(value, (int, float, str)):
+        return value
+    return str(value)
+
+
+def _encode_rows(rows, ordered: bool) -> list:
+    encoded = [[_encode_cell(v) for v in row] for row in rows]
+    if not ordered:
+        encoded.sort(key=lambda row: json.dumps(row))
+    return encoded
+
+
+@dataclass(frozen=True)
+class CapabilityVector:
+    """The recorded probe outcomes of one backend build."""
+
+    #: Registry name (``minidb@alt``) and qualified adapter display name
+    #: (``minidb@alt[sqlite]`` -- what campaign provenance records).
+    backend: str
+    qualified: str
+    version: str
+    simulated: bool
+    probe_set: str
+    #: ``probe_id -> {"ok": bool, "rows": encoded rows | None}``.
+    probes: "dict[str, dict]"
+
+    def ok(self, probe_id: str) -> bool:
+        return bool(self.probes.get(probe_id, {}).get("ok"))
+
+    def rows(self, probe_id: str) -> "list | None":
+        outcome = self.probes.get(probe_id)
+        return None if outcome is None else outcome.get("rows")
+
+    def scalar(self, probe_id: str):
+        """First cell of a single-row probe result, None on error."""
+        rows = self.rows(probe_id)
+        if not rows or not rows[0]:
+            return None
+        return rows[0][0]
+
+    def typeof_signature(self) -> str:
+        """The backend's TYPEOF rendering, comparable across backends."""
+        return json.dumps(
+            [self.rows("typeof_scalar"), self.rows("typeof_comparison")]
+        )
+
+    def to_payload(self) -> dict:
+        return {
+            "schema": 1,
+            "backend": self.backend,
+            "qualified": self.qualified,
+            "version": self.version,
+            "simulated": self.simulated,
+            "probe_set": self.probe_set,
+            "probes": self.probes,
+        }
+
+    def to_json(self) -> str:
+        """Byte-stable serialization (sorted keys, trailing newline)."""
+        return json.dumps(self.to_payload(), indent=2, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "CapabilityVector":
+        return cls(
+            backend=payload["backend"],
+            qualified=payload["qualified"],
+            version=payload["version"],
+            simulated=bool(payload["simulated"]),
+            probe_set=payload["probe_set"],
+            probes=dict(payload["probes"]),
+        )
+
+
+def run_probes(adapter) -> "dict[str, dict]":
+    """Execute the probe set on *adapter* (reset between programs)."""
+    outcomes: dict[str, dict] = {}
+    for program in PROBE_PROGRAMS:
+        adapter.reset()
+        try:
+            for sql in program.setup:
+                adapter.execute(sql)
+            result = adapter.execute(program.query)
+        except ReproError:
+            outcomes[program.probe_id] = {"ok": False, "rows": None}
+        else:
+            outcomes[program.probe_id] = {
+                "ok": True,
+                "rows": _encode_rows(result.rows, program.ordered),
+            }
+    adapter.reset()
+    return outcomes
+
+
+#: In-process memo: (backend, dialect, version, probe-set digest) ->
+#: CapabilityVector.  Probing is cheap but happens on every pair build.
+_MEMO: dict[tuple, CapabilityVector] = {}
+
+#: Environment override for the on-disk vector cache directory.
+CACHE_DIR_ENV = "CODDTEST_CAPVEC_DIR"
+
+
+def clear_probe_memo() -> None:
+    """Drop the in-process memo (test isolation)."""
+    _MEMO.clear()
+
+
+def _slug(text: str) -> str:
+    return re.sub(r"[^A-Za-z0-9._@+-]+", "_", text)
+
+
+def vector_cache_path(
+    cache_dir: str, info: BackendInfo, dialect: str, version: str
+) -> str:
+    """The on-disk cache file for one backend build: keyed by qualified
+    backend name + version string + probe-set digest."""
+    qualified = (
+        f"{info.name}[{dialect}]" if info.dialect_sensitive else info.name
+    )
+    name = f"{_slug(qualified)}@{_slug(version)}.{PROBE_SET_DIGEST}.json"
+    return os.path.join(cache_dir, name)
+
+
+def probe_backend(
+    name: str,
+    dialect: str = "sqlite",
+    cache_dir: "str | None" = None,
+    force: bool = False,
+) -> CapabilityVector:
+    """The :class:`CapabilityVector` of backend *name* at *dialect*.
+
+    Cached in-process per ``(name, dialect, version, probe set)`` and,
+    when *cache_dir* (or ``$CODDTEST_CAPVEC_DIR``) names a directory,
+    on disk -- a cached file is reused only when its backend, version,
+    and probe-set digest all match, so upgrading the backend or editing
+    the probe set re-probes.  ``force=True`` bypasses both caches and
+    rewrites the disk entry.
+    """
+    info = get_backend(name)
+    reason = info.why_unavailable()
+    if reason is not None:
+        # Check before touching the version hook: an optional backend's
+        # version callable imports the missing package.
+        raise BackendUnavailable(
+            f"backend {name!r} is unavailable: {reason}"
+        )
+    version = info.version(dialect)
+    memo_key = (name, dialect, version, PROBE_SET_DIGEST)
+    if not force and memo_key in _MEMO:
+        return _MEMO[memo_key]
+
+    cache_dir = cache_dir or os.environ.get(CACHE_DIR_ENV) or None
+    path = (
+        vector_cache_path(cache_dir, info, dialect, version)
+        if cache_dir
+        else None
+    )
+    if path is not None and not force:
+        vector = _load_vector(path, info, version)
+        if vector is not None:
+            _MEMO[memo_key] = vector
+            return vector
+
+    adapter = info.build(dialect=dialect, buggy=False)
+    vector = CapabilityVector(
+        backend=name,
+        qualified=adapter.name,
+        version=version,
+        simulated=info.simulated,
+        probe_set=PROBE_SET_DIGEST,
+        probes=run_probes(adapter),
+    )
+    if path is not None:
+        os.makedirs(cache_dir, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(vector.to_json())
+    _MEMO[memo_key] = vector
+    return vector
+
+
+def _load_vector(
+    path: str, info: BackendInfo, version: str
+) -> "CapabilityVector | None":
+    try:
+        with open(path, encoding="utf-8") as fh:
+            payload = json.load(fh)
+        vector = CapabilityVector.from_payload(payload)
+    except (OSError, ValueError, KeyError, TypeError):
+        return None
+    if (
+        vector.backend != info.name
+        or vector.version != version
+        or vector.probe_set != PROBE_SET_DIGEST
+    ):
+        return None  # stale entry: version or probe set moved on
+    return vector
+
+
+# ---------------------------------------------------------------------------
+# Deriving BackendCaps / CompatPolicy from vectors
+# ---------------------------------------------------------------------------
+
+
+def caps_from_vector(vector: CapabilityVector) -> BackendCaps:
+    """Per-backend capability flags, read off the probe outcomes."""
+    return BackendCaps(
+        name=vector.qualified,
+        supports_any_all=(
+            vector.ok("quantified_any") and vector.ok("quantified_all")
+        ),
+        strict_typing=not vector.ok("cast_text_prefix"),
+        supports_full_join=vector.ok("full_outer_join"),
+        supports_version_fn=vector.ok("version_fn"),
+        supports_typeof=(
+            vector.ok("typeof_scalar") and vector.ok("typeof_comparison")
+        ),
+        simulated=vector.simulated,
+    )
+
+
+def derive_policy(
+    primary: CapabilityVector, secondary: CapabilityVector
+) -> CompatPolicy:
+    """A :class:`CompatPolicy` derived from two capability vectors.
+
+    Per-backend flags come from :func:`caps_from_vector`; the pair
+    rules compare recorded values of probes both sides ran successfully
+    and demote the *secondary* (reference) side on disagreement, so the
+    existing skip/rewrite machinery handles the divergence:
+
+    * different ``TYPEOF`` renderings -> the reference loses
+      ``supports_typeof`` (TYPEOF statements are skipped for it);
+    * different ``VERSION()`` values -> the reference loses
+      ``supports_version_fn`` and the policy's ``version_literal``
+      becomes the primary's probed value, so the rewrite substitutes
+      the value the primary actually returns.
+    """
+    p = caps_from_vector(primary)
+    s = caps_from_vector(secondary)
+    if (
+        p.supports_typeof
+        and s.supports_typeof
+        and primary.typeof_signature() != secondary.typeof_signature()
+    ):
+        s = dataclasses.replace(s, supports_typeof=False)
+
+    version_literal = ENGINE_VERSION
+    primary_version = primary.scalar("version_fn")
+    secondary_version = secondary.scalar("version_fn")
+    if p.supports_version_fn and isinstance(primary_version, str):
+        version_literal = primary_version
+    elif s.supports_version_fn and isinstance(secondary_version, str):
+        version_literal = secondary_version
+    if (
+        p.supports_version_fn
+        and s.supports_version_fn
+        and primary_version != secondary_version
+    ):
+        s = dataclasses.replace(s, supports_version_fn=False)
+    return CompatPolicy(primary=p, secondary=s, version_literal=version_literal)
+
+
+def pair_policy(
+    primary_name: str,
+    secondary_name: str,
+    dialect: str = "sqlite",
+    cache_dir: "str | None" = None,
+) -> CompatPolicy:
+    """The probe-derived policy for a registered backend pair."""
+    return derive_policy(
+        probe_backend(primary_name, dialect=dialect, cache_dir=cache_dir),
+        probe_backend(secondary_name, dialect=dialect, cache_dir=cache_dir),
+    )

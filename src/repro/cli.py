@@ -8,6 +8,7 @@ Subcommands::
     coddtest compare  --tests 400 [--workers N]  # per-oracle detection counts
     coddtest sqlite3  --tests 200                # run against the real SQLite
     coddtest corpus   report|merge|replay ...    # triage JSONL bug corpora
+    coddtest backends list|probe ...             # backend registry + capability probes
     coddtest top      RUN.trace.jsonl | http://HOST:PORT  # one top-style frame
     coddtest trace    report RUN.trace.jsonl     # offline trace analysis
 
@@ -132,9 +133,10 @@ def main(argv: list[str] | None = None) -> int:
         "--backends",
         default="minidb,sqlite3",
         metavar="PRIMARY,SECONDARY",
-        help="comma-separated backend pair; the first is the engine "
-        "under test (receives --buggy faults), the second the trusted "
-        "reference (default: minidb,sqlite3)",
+        help="comma-separated pair of registered backend names (see "
+        "`coddtest backends list`); the first is the engine under test "
+        "(receives --buggy faults), the second the trusted reference "
+        "(default: minidb,sqlite3)",
     )
     diff.add_argument(
         "--dialect",
@@ -203,6 +205,7 @@ def main(argv: list[str] | None = None) -> int:
     _add_cache_args(real)
 
     _add_corpus_parser(sub)
+    _add_backends_parser(sub)
     _add_top_parser(sub)
     _add_trace_parser(sub)
 
@@ -219,6 +222,8 @@ def main(argv: list[str] | None = None) -> int:
             return _compare(args)
         if args.command == "corpus":
             return _corpus(args)
+        if args.command == "backends":
+            return _backends(args)
         if args.command == "top":
             return _top(args)
         if args.command == "trace":
@@ -309,6 +314,73 @@ def _add_corpus_parser(sub) -> None:
         "(unverifiable clusters have nothing to re-check and pass)",
     )
     _add_replay_cache_arg(replay)
+
+
+def _add_backends_parser(sub) -> None:
+    backends = sub.add_parser(
+        "backends",
+        help="list registered DBMS backends and probe their capabilities",
+        description="Inspect the pluggable backend registry: the "
+        "built-in backends plus anything third-party packages register "
+        "through 'coddtest.backends' entry points.  'probe' runs the "
+        "canned feature-probe program set against a backend build and "
+        "prints (or caches) its capability vector -- the input the "
+        "differential compat policy is derived from.  Deterministic: "
+        "probing the same backend build twice yields a byte-identical "
+        "vector.",
+    )
+    bsub = backends.add_subparsers(dest="backends_command", required=True)
+
+    bsub.add_parser(
+        "list",
+        help="list registered backends with availability and version",
+        description="One row per registered backend: availability "
+        "(optional backends report why they cannot build here), "
+        "simulated flag (ground-truth fault attribution), version, "
+        "and description.  Broken entry points are reported on stderr "
+        "without failing discovery.",
+    )
+
+    probe = bsub.add_parser(
+        "probe",
+        help="run the capability probe set against backends",
+        description="Build each named backend faults-off, run the "
+        "canned probe programs, and print one summary line per "
+        "capability vector.  Vectors are cached per (backend, "
+        "version, probe set) when --cache-dir or CODDTEST_CAPVEC_DIR "
+        "is set.",
+    )
+    probe.add_argument(
+        "names",
+        nargs="*",
+        metavar="BACKEND",
+        help="backends to probe (default: every available backend)",
+    )
+    probe.add_argument(
+        "--dialect",
+        choices=sorted(PROFILES),
+        default="sqlite",
+        help="MiniDB profile for dialect-sensitive backends",
+    )
+    probe.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        dest="cache_dir",
+        help="on-disk capability-vector cache directory (also settable "
+        "via CODDTEST_CAPVEC_DIR)",
+    )
+    probe.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write every probed vector into one JSON document",
+    )
+    probe.add_argument(
+        "--force",
+        action="store_true",
+        help="re-probe even when a cached vector exists",
+    )
 
 
 def _add_top_parser(sub) -> None:
@@ -787,6 +859,66 @@ def _compare(args) -> int:
             f"QPT {stats.qpt:5.2f}  plans {len(stats.unique_plans):5d}  "
             f"coverage {100 * stats.branch_coverage:5.1f}%"
         )
+    return 0
+
+
+def _backends(args) -> int:
+    from repro import backends as registry
+
+    registry.ensure_discovered()
+    if args.backends_command == "list":
+        return _backends_list(registry)
+    return _backends_probe(registry, args)
+
+
+def _backends_list(registry) -> int:
+    rows = [["NAME", "STATUS", "SIMULATED", "VERSION", "DESCRIPTION"]]
+    for info in registry.all_backends():
+        reason = info.why_unavailable()
+        rows.append(
+            [
+                info.name,
+                "available" if reason is None else f"unavailable ({reason})",
+                "yes" if info.simulated else "no",
+                info.version("sqlite") if reason is None else "-",
+                info.description,
+            ]
+        )
+    widths = [max(len(r[i]) for r in rows) for i in range(len(rows[0]) - 1)]
+    for row in rows:
+        cells = [row[i].ljust(widths[i]) for i in range(len(widths))]
+        print("  ".join(cells + [row[-1]]).rstrip())
+    for err in registry.discovery_errors():
+        print(f"coddtest: entry-point error: {err}", file=sys.stderr)
+    return 0
+
+
+def _backends_probe(registry, args) -> int:
+    import json
+
+    names = list(args.names) or registry.available_backend_names()
+    vectors = []
+    for name in names:
+        registry.get_backend(name)  # unknown names fail before probing
+        vector = registry.probe_backend(
+            name,
+            dialect=args.dialect,
+            cache_dir=args.cache_dir,
+            force=args.force,
+        )
+        ok = sum(1 for probe in vector.probes.values() if probe["ok"])
+        print(
+            f"{vector.qualified}: version {vector.version}, "
+            f"{ok}/{len(vector.probes)} probes ok, "
+            f"probe set {vector.probe_set}"
+        )
+        vectors.append(vector)
+    if args.out:
+        payload = {v.qualified: v.to_payload() for v in vectors}
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"capability vectors written to {args.out}")
     return 0
 
 

@@ -106,6 +106,11 @@ class CompatPolicy:
 
     primary: BackendCaps
     secondary: BackendCaps
+    #: The literal ``VERSION()`` rewrites to on backends lacking the
+    #: function.  Defaults to MiniDB's deterministic version string;
+    #: probe-derived policies (:func:`repro.backends.derive_policy`)
+    #: substitute the value the supporting backend actually returned.
+    version_literal: str = ENGINE_VERSION
 
     @classmethod
     def for_pair(
@@ -151,7 +156,7 @@ class CompatPolicy:
         if not caps.supports_version_fn and _VERSION_CALL.search(sql):
             # VERSION() is deterministic in MiniDB, so substituting the
             # literal preserves semantics exactly.
-            sql = _VERSION_CALL.sub(f"'{ENGINE_VERSION}'", sql)
+            sql = _VERSION_CALL.sub(f"'{self.version_literal}'", sql)
         if not caps.supports_typeof and _TYPEOF_CALL.search(sql):
             raise CompatSkip(caps.name, "TYPEOF() type names differ")
         if not caps.supports_any_all and _QUANTIFIED.search(sql):

@@ -22,8 +22,6 @@ from __future__ import annotations
 import dataclasses
 
 from repro.adapters.base import EngineAdapter
-from repro.adapters.minidb_adapter import MiniDBAdapter
-from repro.adapters.sqlite3_adapter import Sqlite3Adapter
 from repro.differential.compat import ALL_JOIN_KINDS
 from repro.differential.pair import DifferentialAdapter
 from repro.errors import DifferentialMismatch
@@ -31,41 +29,47 @@ from repro.generator.expr_gen import ExprGenerator
 from repro.generator.query_gen import QueryGenerator, replace_join_on
 from repro.oracles_base import Oracle, TestOutcome, TestReport
 
-#: Backend names accepted by :func:`build_pair_adapter` / the CLI.
+#: The historical seed pair.  Kept for backward compatibility only:
+#: the registry (:mod:`repro.backends`) is the source of truth for
+#: which backends exist -- use :func:`repro.backends.backend_names`.
 BACKEND_NAMES = ("minidb", "sqlite3")
 
 
 def build_backend(
     name: str, dialect: str = "sqlite", buggy: bool = False
 ) -> EngineAdapter:
-    """Construct one backend by short name.
+    """Construct one backend by registry name.
 
-    ``buggy`` seeds the MiniDB fault catalog; the real ``sqlite3``
-    backend has no injectable faults and ignores it.
+    ``buggy`` seeds the fault catalog on simulated backends; real DBMS
+    backends have no injectable faults and ignore it.  Unknown names
+    raise ``ValueError`` listing the *registered* backends (imported
+    lazily: the registry's built-ins construct adapters, so importing
+    it at module level would be circular).
     """
-    if name == "minidb":
-        from repro.dialects import make_engine
+    from repro.backends import build_backend as registry_build
 
-        return MiniDBAdapter(make_engine(dialect, with_catalog_faults=buggy))
-    if name == "sqlite3":
-        return Sqlite3Adapter()
-    raise ValueError(
-        f"unknown backend {name!r}; expected one of: {', '.join(BACKEND_NAMES)}"
-    )
+    return registry_build(name, dialect=dialect, buggy=buggy)
 
 
 def build_pair_adapter(
     backend_pair: tuple[str, str], dialect: str = "sqlite", buggy: bool = False
 ) -> DifferentialAdapter:
-    """A :class:`DifferentialAdapter` from two backend short names.
+    """A :class:`DifferentialAdapter` from two registered backend names.
 
     Only the *primary* (first) backend receives injected faults: the
     secondary is the trusted reference the primary is diffed against.
+    The pair's :class:`~repro.differential.compat.CompatPolicy` is
+    *derived* from each backend's probed capability vector (cached per
+    process); for ``(minidb, sqlite3)`` it reproduces the hand-written
+    intersection exactly.
     """
+    from repro.backends import pair_policy
+
     primary_name, secondary_name = backend_pair
     primary = build_backend(primary_name, dialect=dialect, buggy=buggy)
     secondary = build_backend(secondary_name, dialect=dialect, buggy=False)
-    return DifferentialAdapter(primary, secondary)
+    policy = pair_policy(primary_name, secondary_name, dialect=dialect)
+    return DifferentialAdapter(primary, secondary, policy=policy)
 
 
 class DifferentialOracle(Oracle):

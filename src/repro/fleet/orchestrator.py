@@ -23,16 +23,10 @@ import traceback
 from dataclasses import dataclass, field
 from typing import Callable
 
-from repro.adapters.minidb_adapter import MiniDBAdapter
-from repro.adapters.sqlite3_adapter import Sqlite3Adapter
+from repro.backends import backend_names, build_backend, get_backend
 from repro.baselines import DQEOracle, EETOracle, NoRECOracle, TLPOracle
 from repro.core import CoddTestOracle
-from repro.dialects import make_engine
-from repro.differential import (
-    BACKEND_NAMES,
-    DifferentialOracle,
-    build_pair_adapter,
-)
+from repro.differential import DifferentialOracle, build_pair_adapter
 from repro.errors import (
     EngineCrash,
     EngineHang,
@@ -82,7 +76,9 @@ class FleetConfig:
 
     oracle: str = "coddtest"
     oracle_kwargs: dict = field(default_factory=dict)
-    adapter: str = "minidb"  # "minidb" | "sqlite3"
+    #: Single-backend campaigns: any registered backend name (see
+    #: :func:`repro.backends.backend_names`).
+    adapter: str = "minidb"
     dialect: str = "sqlite"
     buggy: bool = False
     workers: int = 1
@@ -126,8 +122,12 @@ class FleetConfig:
     def __post_init__(self) -> None:
         if self.oracle not in ORACLE_FACTORIES:
             raise ValueError(f"unknown oracle {self.oracle!r}")
-        if self.adapter not in ("minidb", "sqlite3"):
-            raise ValueError(f"unknown adapter {self.adapter!r}")
+        registered = backend_names()
+        if self.adapter not in registered:
+            raise ValueError(
+                f"unknown adapter {self.adapter!r}; registered backends: "
+                f"{', '.join(registered)}"
+            )
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
         if self.n_tests is None and self.seconds is None:
@@ -135,11 +135,11 @@ class FleetConfig:
         if self.backend_pair is not None:
             self.backend_pair = tuple(self.backend_pair)
             if len(self.backend_pair) != 2 or any(
-                b not in BACKEND_NAMES for b in self.backend_pair
+                b not in registered for b in self.backend_pair
             ):
                 raise ValueError(
-                    f"backend_pair must name two of {BACKEND_NAMES}, "
-                    f"got {self.backend_pair!r}"
+                    "backend_pair must name two registered backends "
+                    f"({', '.join(registered)}), got {self.backend_pair!r}"
                 )
             if self.oracle != "differential":
                 raise ValueError(
@@ -150,6 +150,14 @@ class FleetConfig:
                 "the differential oracle requires a backend_pair, e.g. "
                 "('minidb', 'sqlite3')"
             )
+        # Fail fast on optional backends that cannot build here (for
+        # example duckdb without the package) -- not in a worker.
+        for name in self.backend_pair or (self.adapter,):
+            reason = get_backend(name).why_unavailable()
+            if reason is not None:
+                raise ValueError(
+                    f"backend {name!r} is unavailable: {reason}"
+                )
         if self.guidance is not None and self.guidance not in GUIDANCE_MODES:
             raise ValueError(
                 f"unknown guidance mode {self.guidance!r}; "
@@ -241,10 +249,8 @@ def _build_adapter(spec: ShardSpec):
         return build_pair_adapter(
             spec.backend_pair, dialect=spec.dialect, buggy=spec.buggy
         )
-    if spec.adapter == "sqlite3":
-        return Sqlite3Adapter()
-    return MiniDBAdapter(
-        make_engine(spec.dialect, with_catalog_faults=spec.buggy)
+    return build_backend(
+        spec.adapter, dialect=spec.dialect, buggy=spec.buggy
     )
 
 
@@ -1113,11 +1119,14 @@ def make_replay_reducer(config: FleetConfig) -> ReduceFn | None:
     the bug when the report's injected faults all fire again (logic
     bugs) or the engine raises the same failure class (internal error /
     crash / hang).  Real DBMS adapters have no ground truth, so there
-    is nothing safe to replay against -- returns None, as do
-    differential configs (a reduced witness would need *both* engines
-    to disagree again, which single-engine replay cannot check).
+    is nothing safe to replay against -- returns None (the registry's
+    ``simulated`` flag is the ground-truth marker), as do differential
+    configs (a reduced witness would need *both* engines to disagree
+    again, which single-engine replay cannot check).
     """
-    if config.adapter != "minidb" or config.backend_pair is not None:
+    if config.backend_pair is not None:
+        return None
+    if not get_backend(config.adapter).simulated:
         return None
 
     def reduce_fn(report: TestReport) -> list[str] | None:

@@ -90,7 +90,7 @@ class ShardSpec:
     seconds: float | None
     oracle: str
     oracle_kwargs: dict = field(default_factory=dict)
-    adapter: str = "minidb"  # "minidb" | "sqlite3"
+    adapter: str = "minidb"  # any registered backend (repro.backends)
     dialect: str = "sqlite"
     buggy: bool = False
     tests_per_state: int = 25

@@ -66,6 +66,38 @@ def build_triage(
     if NO_FAULT_LABEL in fault_rows:
         fault_order.append(NO_FAULT_LABEL)
 
+    # Per-backend(-pair) provenance: which backends produced which
+    # clusters.  The label matches the cluster table's Backends column
+    # ("primary|secondary" for differential findings, "single" for
+    # one-engine oracles), so multi-backend campaign reports split
+    # their Table 1 by provenance.
+    backend_rows: dict[str, dict] = {}
+    for cluster in clusters:
+        label = (
+            "|".join(cluster.backend_pair)
+            if cluster.backend_pair
+            else "single"
+        )
+        row = backend_rows.setdefault(
+            label,
+            {
+                "backends": label,
+                "by_kind": {},
+                "clusters": 0,
+                "entries": 0,
+                "sightings": 0,
+            },
+        )
+        row["clusters"] += 1
+        row["entries"] += len(cluster.entries)
+        row["sightings"] += cluster.sightings
+        row["by_kind"][cluster.kind] = (
+            row["by_kind"].get(cluster.kind, 0) + 1
+        )
+    backend_order = sorted(b for b in backend_rows if b != "single")
+    if "single" in backend_rows:
+        backend_order.append("single")
+
     cluster_dicts = []
     for cluster in clusters:
         verdict = (verdicts or {}).get(cluster.cluster_id)
@@ -114,6 +146,7 @@ def build_triage(
     return {
         "summary": summary,
         "faults": [fault_rows[f] for f in fault_order],
+        "backends": [backend_rows[b] for b in backend_order],
         "clusters": cluster_dicts,
     }
 
@@ -160,6 +193,14 @@ def render_triage_text(
     lines.append("")
     lines.extend(
         _table(
+            _backend_table_header(),
+            [_backend_table_row(row) for row in data["backends"]],
+        )
+    )
+
+    lines.append("")
+    lines.extend(
+        _table(
             _cluster_table_header(verdicts is not None),
             [
                 _cluster_table_row(c, verdicts is not None)
@@ -201,6 +242,14 @@ def render_triage_markdown(
                 ],
             )
         )
+
+    lines += ["", "## Clusters by backend provenance", ""]
+    lines.extend(
+        _md_table(
+            _backend_table_header(),
+            [_backend_table_row(row) for row in data["backends"]],
+        )
+    )
 
     lines += ["", "## Clusters", ""]
     lines.extend(
@@ -350,6 +399,27 @@ def _fault_table_total(summary: dict) -> list[str]:
         str(by_kind.get("hang", 0)),
         str(summary["clusters"]),
         str(summary["sightings"]),
+    ]
+
+
+def _backend_table_header() -> list[str]:
+    return [
+        "Backends", "Logic", "Internal", "Crash", "Hang",
+        "Clusters", "Entries", "Sightings",
+    ]
+
+
+def _backend_table_row(row: dict) -> list[str]:
+    by_kind = row["by_kind"]
+    return [
+        row["backends"],
+        str(by_kind.get("logic", 0)),
+        str(by_kind.get("internal error", 0)),
+        str(by_kind.get("crash", 0)),
+        str(by_kind.get("hang", 0)),
+        str(row["clusters"]),
+        str(row["entries"]),
+        str(row["sightings"]),
     ]
 
 

@@ -18,7 +18,9 @@ Three verdicts:
   program for the current engines);
 * ``unverifiable`` -- there is nothing to check against: a
   single-engine logic finding with no ground-truth faults needs its
-  original oracle, and an unknown backend name cannot be built.
+  original oracle, and an unknown or locally unavailable backend
+  (an optional adapter whose package is not installed) cannot be
+  built.
 
 Determinism guarantee: replay drives only deterministic engines with
 the recorded statements, so replaying the same corpus twice yields the
@@ -32,8 +34,9 @@ from dataclasses import dataclass
 from typing import Iterable
 
 from repro.adapters.minidb_adapter import MiniDBAdapter
+from repro.backends import backend_names, get_backend
 from repro.dialects import FAULTS_BY_ID, make_engine
-from repro.differential import BACKEND_NAMES, build_pair_adapter
+from repro.differential import build_pair_adapter
 from repro.errors import (
     DifferentialMismatch,
     EngineCrash,
@@ -72,12 +75,15 @@ class ReplayVerdict:
 def parse_backend_name(name: str) -> tuple[str, "str | None"]:
     """Split a recorded backend name into ``(short name, dialect)``.
 
-    Corpus entries record adapter display names -- ``minidb[sqlite]``
-    carries its profile, ``sqlite3`` has none -- while the pair builder
-    wants the short registry name plus a dialect.
+    Corpus entries record adapter display names -- dialect-sensitive
+    backends append their profile (``minidb[sqlite]``,
+    ``minidb@alt[tidb]``) while real DBMSs record the bare registry
+    name (``sqlite3``) -- and the pair builder wants the short registry
+    name plus a dialect.
     """
-    if name.startswith("minidb[") and name.endswith("]"):
-        return "minidb", name[len("minidb["):-1]
+    if name.endswith("]") and "[" in name:
+        short, _, dialect = name[:-1].partition("[")
+        return short, dialect or None
     return name, None
 
 
@@ -157,10 +163,21 @@ def _replay_representative(
         short = tuple(
             parse_backend_name(b)[0] for b in cluster.backend_pair
         )
-        if any(b not in BACKEND_NAMES for b in short):
+        known = backend_names()
+        if any(b not in known for b in short):
             return ReplayVerdict(
                 UNVERIFIABLE,
                 f"unknown backend in pair {cluster.backend_pair}",
+            )
+        unavailable = [
+            f"{b} ({get_backend(b).why_unavailable()})"
+            for b in short
+            if not get_backend(b).available()
+        ]
+        if unavailable:
+            return ReplayVerdict(
+                UNVERIFIABLE,
+                f"backend unavailable for replay: {', '.join(unavailable)}",
             )
         pair = short
     if pair is None and not target and cluster.kind == "logic":

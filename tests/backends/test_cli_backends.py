@@ -1,0 +1,54 @@
+"""The ``coddtest backends list|probe`` CLI surface."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+
+_DUCKDB_INSTALLED = importlib.util.find_spec("duckdb") is not None
+
+
+def test_backends_list(capsys):
+    assert cli_main(["backends", "list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("minidb", "minidb@alt", "sqlite3", "duckdb"):
+        assert name in out
+    assert "available" in out
+
+
+def test_backends_probe_writes_combined_json(tmp_path, capsys):
+    out_path = tmp_path / "capvec.json"
+    assert (
+        cli_main(
+            ["backends", "probe", "minidb", "sqlite3", "--out", str(out_path)]
+        )
+        == 0
+    )
+    payload = json.loads(out_path.read_text())
+    assert set(payload) == {"minidb[sqlite]", "sqlite3"}
+    for vector in payload.values():
+        assert vector["probe_set"]
+        assert vector["probes"]
+    stdout = capsys.readouterr().out
+    assert "probes ok" in stdout
+
+
+def test_backends_probe_unknown_name_exits_2(capsys):
+    assert cli_main(["backends", "probe", "nosuch"]) == 2
+    assert "unknown backend 'nosuch'" in capsys.readouterr().err
+
+
+@pytest.mark.skipif(_DUCKDB_INSTALLED, reason="duckdb installed here")
+def test_backends_probe_unavailable_exits_2(capsys):
+    assert cli_main(["backends", "probe", "duckdb"]) == 2
+    assert "unavailable" in capsys.readouterr().err
+
+
+def test_diff_rejects_unregistered_backend(capsys):
+    assert cli_main(["diff", "--backends", "minidb,postgres", "--tests", "1"]) == 2
+    err = capsys.readouterr().err
+    assert "registered backends" in err

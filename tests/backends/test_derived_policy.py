@@ -1,0 +1,85 @@
+"""Probe-derived compat policies vs. the hand-written intersection.
+
+The acceptance gate of the registry refactor: deriving the
+``(minidb, sqlite3)`` policy from capability vectors must reproduce
+the hand-written :meth:`CompatPolicy.for_pair` intersection exactly,
+on every dialect profile -- and derived policies for new pairs
+(``minidb@alt``) must behave, end to end, like the hand-written ones
+always did: a faults-off campaign reports zero divergences.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backends import build_backend, caps_from_vector, pair_policy, probe_backend
+from repro.dialects import PROFILES
+from repro.differential import CompatPolicy, build_pair_adapter
+from repro.fleet import BugCorpus, FleetConfig, run_fleet
+from repro.minidb.functions import ENGINE_VERSION
+
+DIALECTS = sorted(PROFILES)
+
+
+@pytest.mark.parametrize("dialect", DIALECTS)
+def test_derived_seed_pair_matches_hand_written(dialect):
+    derived = pair_policy("minidb", "sqlite3", dialect=dialect)
+    hand = CompatPolicy.for_pair(
+        build_backend("minidb", dialect=dialect),
+        build_backend("sqlite3", dialect=dialect),
+    )
+    assert derived == hand
+
+
+def test_derived_version_literal_is_minidbs_probed_version():
+    policy = pair_policy("minidb", "sqlite3")
+    assert policy.version_literal == ENGINE_VERSION
+
+
+def test_caps_from_vector_shape():
+    caps = caps_from_vector(probe_backend("sqlite3"))
+    assert caps.name == "sqlite3"
+    assert not caps.simulated
+    assert not caps.supports_any_all  # sqlite3 lacks quantified comparisons
+    caps = caps_from_vector(probe_backend("minidb"))
+    assert caps.simulated
+    assert caps.supports_version_fn and caps.supports_typeof
+
+
+def test_alt_pair_derivation_intersects_any_all():
+    # The alt build compiles quantified comparisons out; on a dialect
+    # whose stock profile supports them, the *pair* must not emit them.
+    policy = pair_policy("minidb", "minidb@alt", dialect="mysql")
+    assert policy.primary.supports_any_all
+    assert not policy.secondary.supports_any_all
+    assert not policy.supports_any_all
+
+
+def test_build_pair_adapter_carries_derived_policy():
+    adapter = build_pair_adapter(("minidb", "sqlite3"))
+    hand = CompatPolicy.for_pair(
+        build_backend("minidb"), build_backend("sqlite3")
+    )
+    assert adapter.policy == hand
+
+
+def test_self_pair_derives_identity_policy():
+    # mysql's stock profile supports quantified comparisons, so a
+    # self-pair must keep every capability: no demotions without a
+    # cross-backend mismatch.
+    policy = pair_policy("minidb", "minidb", dialect="mysql")
+    assert policy.supports_any_all
+    assert policy.primary.supports_typeof and policy.secondary.supports_typeof
+
+
+def test_alt_pair_faults_off_campaign_is_clean():
+    config = FleetConfig(
+        oracle="differential",
+        backend_pair=("minidb", "minidb@alt"),
+        n_tests=60,
+        workers=1,
+        seed=7,
+    )
+    stats = run_fleet(config, corpus=BugCorpus()).merged
+    assert stats.tests == 60
+    assert not stats.reports
